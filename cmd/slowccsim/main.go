@@ -1,0 +1,332 @@
+// Command slowccsim reproduces the evaluation of "Dynamic Behavior of
+// Slowly-Responsive Congestion Control Algorithms" (SIGCOMM 2001):
+// every figure has a named experiment that runs the packet-level
+// simulation and prints the corresponding table or series.
+//
+// Usage:
+//
+//	slowccsim -list
+//	slowccsim -exp fig5            # quick (scaled-down) parameters
+//	slowccsim -exp fig5 -full     # the paper's full parameters
+//	slowccsim -exp all -full      # everything (minutes of CPU)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"slowcc/internal/exp"
+	"slowcc/internal/sim"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(full bool, seed int64) (text string, data any)
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"fig3", "drop-rate timeline when a CBR source restarts", runFig3},
+		{"fig45", "stabilization time (Fig 4) and cost (Fig 5) vs gamma", runFig45},
+		{"fig6", "flash crowd vs TFRC(256) with/without self-clocking", runFig6},
+		{"fig7", "long-term fairness: TCP vs TFRC(6) under oscillation", runFig7},
+		{"fig8", "long-term fairness: TCP vs TCP(1/8)", runFig8},
+		{"fig9", "long-term fairness: TCP vs SQRT(1/2)", runFig9},
+		{"fig10", "0.1-fair convergence time for TCP(b)", runFig10},
+		{"fig11", "analytic expected ACKs to 0.1-fairness", runFig11},
+		{"fig12", "0.1-fair convergence time for TFRC(k)", runFig12},
+		{"fig13", "f(20)/f(200) utilization after bandwidth doubling", runFig13},
+		{"fig14", "utilization and drop rate under 3:1 oscillation (Figs 14+15)", runFig14},
+		{"fig16", "utilization under 10:1 oscillation", runFig16},
+		{"fig17", "smoothness on the mild bursty pattern: TFRC vs TCP(1/8)", runFig17},
+		{"fig18", "smoothness on the severe pattern (TFRC's worst case)", runFig18},
+		{"fig19", "smoothness: IIAD vs SQRT on the mild pattern", runFig19},
+		{"fig20", "Appendix A throughput models", runFig20},
+		{"ablation-droptail", "Fig 4/5 scenario with tail-drop instead of RED", runAblationDropTail},
+		{"ablation-ecn", "long-term fairness with an ECN-marking bottleneck", runAblationECN},
+		{"ablation-tear", "TEAR in the stabilization and oscillation scenarios", runAblationTEAR},
+		{"static-compat", "static TCP-compatibility audit under fixed loss", runStaticCompat},
+		{"rtt-fairness", "extension: unequal-RTT flows sharing the bottleneck", runRTTFairness},
+		{"queue-dynamics", "extension: queue oscillation by traffic type", runQueueDynamics},
+	}
+}
+
+func main() {
+	var (
+		name   = flag.String("exp", "", "experiment to run (see -list), or 'all'")
+		list   = flag.Bool("list", false, "list experiments")
+		full   = flag.Bool("full", false, "use the paper's full durations and sweeps")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		asJSON = flag.Bool("json", false, "emit typed results as JSON instead of tables")
+	)
+	flag.Parse()
+
+	exps := experiments()
+	if *list || *name == "" {
+		fmt.Println("experiments:")
+		for _, e := range exps {
+			fmt.Printf("  %-18s %s\n", e.name, e.desc)
+		}
+		if *name == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].name < exps[j].name })
+	ran := false
+	for _, e := range exps {
+		if *name != "all" && !strings.EqualFold(*name, e.name) {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		text, data := e.run(*full, *seed)
+		if *asJSON {
+			blob, err := json.MarshalIndent(map[string]any{"experiment": e.name, "result": data}, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+				os.Exit(1)
+			}
+			fmt.Println(string(blob))
+		} else {
+			fmt.Println(text)
+			fmt.Printf("[%s finished in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *name)
+		os.Exit(2)
+	}
+}
+
+// stabScenario returns the shared Figure 3/4/5 scenario at the chosen
+// scale.
+func stabScenario(full bool, seed int64) exp.StabilizationConfig {
+	if full {
+		return exp.StabilizationConfig{Seed: seed} // paper defaults: 150/180/400
+	}
+	return exp.StabilizationConfig{OffAt: 50, OnAt: 60, End: 120, Seed: seed}
+}
+
+func runFig3(full bool, seed int64) (string, any) {
+	cfg := exp.DefaultFig3()
+	cfg.Scenario = stabScenario(full, seed)
+	res := exp.Fig3(cfg)
+	return exp.RenderFig3(res), res
+}
+
+func runFig45(full bool, seed int64) (string, any) {
+	cfg := exp.Fig45Config{Scenario: stabScenario(full, seed), MaxGamma: 256}
+	if !full {
+		cfg.MaxGamma = 16
+	}
+	res := exp.Fig45(cfg)
+	return exp.RenderFig45(res), res
+}
+
+func runAblationDropTail(full bool, seed int64) (string, any) {
+	cfg := exp.Fig45Config{Scenario: stabScenario(full, seed), MaxGamma: 256}
+	cfg.Scenario.DropTail = true
+	if !full {
+		cfg.MaxGamma = 16
+	}
+	res := exp.Fig45(cfg)
+	return "Ablation: DropTail bottleneck (paper reports self-clocking helps here too)\n" +
+		exp.RenderFig45(res), res
+}
+
+func runAblationECN(full bool, seed int64) (string, any) {
+	cfg := exp.FairnessConfig{
+		A:   exp.ECNTCPAlgo(0.5),
+		B:   exp.ECNTCPAlgo(1.0 / 8),
+		ECN: true,
+	}
+	text, res := fairness(cfg, "ECN fairness", full, seed)
+	return "Ablation: ECN marking bottleneck, ECN-TCP(1/2) vs ECN-TCP(1/8)\n" + text, res
+}
+
+func runAblationTEAR(full bool, seed int64) (string, any) {
+	sc := stabScenario(full, seed)
+	sc.Algo = exp.TEARAlgo(0)
+	r := exp.RunStabilization(sc)
+	head := fmt.Sprintf("Ablation: TEAR stabilization — steady %.2f%%, time %.0f RTTs, cost %.2f\n\n",
+		r.Steady*100, r.Stab.TimeRTTs, r.Stab.Cost)
+	cfg := exp.FairnessConfig{A: exp.TCPAlgo(0.5), B: exp.TEARAlgo(0)}
+	text, res := fairness(cfg, "TCP vs TEAR under oscillation", full, seed)
+	return head + text, map[string]any{"stabilization": r, "fairness": res}
+}
+
+func runStaticCompat(full bool, seed int64) (string, any) {
+	cfg := exp.StaticCompatConfig{Seed: seed}
+	if !full {
+		cfg.Warmup = 20
+		cfg.Measure = 60
+	}
+	res := exp.StaticCompat(cfg)
+	return exp.RenderStaticCompat(cfg, res), res
+}
+
+func runRTTFairness(full bool, seed int64) (string, any) {
+	cfg := exp.RTTFairnessConfig{Seed: seed}
+	if !full {
+		cfg.Warmup = 15
+		cfg.Measure = 60
+	}
+	res := exp.RTTFairness(cfg)
+	return exp.RenderRTTFairness(cfg, res), res
+}
+
+func runQueueDynamics(full bool, seed int64) (string, any) {
+	cfg := exp.QueueDynamicsConfig{Seed: seed}
+	if !full {
+		cfg.Warmup = 15
+		cfg.Measure = 60
+	}
+	res := exp.QueueDynamics(cfg)
+	text := exp.RenderQueueDynamics(cfg, res)
+	cfgDT := cfg
+	cfgDT.DropTail = true
+	resDT := exp.QueueDynamics(cfgDT)
+	text += "\n" + exp.RenderQueueDynamics(cfgDT, resDT)
+	return text, map[string]any{"red": res, "droptail": resDT}
+}
+
+func runFig6(full bool, seed int64) (string, any) {
+	cfg := exp.Fig6Config{Seed: seed}
+	if !full {
+		cfg.CrowdStart = 15
+		cfg.End = 40
+		cfg.Flows = 6
+	}
+	res := exp.Fig6(cfg)
+	return exp.RenderFig6(cfg, res), res
+}
+
+func fairness(base exp.FairnessConfig, title string, full bool, seed int64) (string, []exp.FairnessPoint) {
+	base.Seed = seed
+	if !full {
+		base.Periods = []sim.Time{0.2, 1, 4, 16}
+		base.Warmup = 15
+		base.Measure = 60
+	}
+	res := exp.Fairness(base)
+	return exp.RenderFairness(title, base, res), res
+}
+
+func runFig7(full bool, seed int64) (string, any) {
+	text, res := fairness(exp.DefaultFig7(), "Figure 7", full, seed)
+	return text, res
+}
+
+func runFig8(full bool, seed int64) (string, any) {
+	text, res := fairness(exp.DefaultFig8(), "Figure 8", full, seed)
+	return text, res
+}
+
+func runFig9(full bool, seed int64) (string, any) {
+	text, res := fairness(exp.DefaultFig9(), "Figure 9", full, seed)
+	return text, res
+}
+
+func convScenario(full bool, seed int64) (exp.ConvergenceConfig, int) {
+	cfg := exp.ConvergenceConfig{Seeds: []int64{seed, seed + 1, seed + 2}}
+	max := 256
+	if !full {
+		cfg.Horizon = 200
+		cfg.Seeds = []int64{seed}
+		max = 16
+	}
+	return cfg, max
+}
+
+func runFig10(full bool, seed int64) (string, any) {
+	cfg, max := convScenario(full, seed)
+	res := exp.Fig10(cfg, max)
+	h := cfg.Horizon
+	if h == 0 {
+		h = 600
+	}
+	return exp.RenderConvergence("Figure 10: TCP(b)", res, h), res
+}
+
+func runFig11(bool, int64) (string, any) {
+	res := exp.Fig11(0.1, 0.1, 256)
+	return exp.RenderFig11(0.1, 0.1, res), res
+}
+
+func runFig12(full bool, seed int64) (string, any) {
+	cfg, max := convScenario(full, seed)
+	res := exp.Fig12(cfg, max)
+	h := cfg.Horizon
+	if h == 0 {
+		h = 600
+	}
+	return exp.RenderConvergence("Figure 12: TFRC(k)", res, h), res
+}
+
+func runFig13(full bool, seed int64) (string, any) {
+	cfg := exp.Fig13Config{Seed: seed}
+	if !full {
+		cfg.StopAt = 60
+		cfg.MaxGamma = 16
+	}
+	res := exp.Fig13(cfg)
+	return exp.RenderFig13(cfg, res), res
+}
+
+func runFig14(full bool, seed int64) (string, any) {
+	cfg := exp.OscillationConfig{Seed: seed}
+	if !full {
+		cfg.Periods = []sim.Time{0.1, 0.4, 1.6, 6.4}
+		cfg.Warmup = 10
+		cfg.Measure = 60
+	}
+	res := exp.Oscillation(cfg)
+	return exp.RenderOscillation("Figures 14/15 (3:1)", cfg, res), res
+}
+
+func runFig16(full bool, seed int64) (string, any) {
+	cfg := exp.OscillationConfig{CBRPeak: 13.5e6, Seed: seed}
+	if !full {
+		cfg.Periods = []sim.Time{0.1, 0.4, 1.6, 6.4}
+		cfg.Warmup = 10
+		cfg.Measure = 60
+	}
+	res := exp.Oscillation(cfg)
+	return exp.RenderOscillation("Figure 16 (10:1)", cfg, res), res
+}
+
+func smoothness(cfg exp.SmoothnessConfig, title string, full bool, seed int64) (string, []exp.SmoothnessResult) {
+	cfg.Seed = seed
+	if !full {
+		cfg.Duration = 80
+	}
+	res := exp.RunSmoothness(cfg)
+	return exp.RenderSmoothness(title, cfg, res), res
+}
+
+func runFig17(full bool, seed int64) (string, any) {
+	text, res := smoothness(exp.DefaultFig17(), "Figure 17", full, seed)
+	return text, res
+}
+
+func runFig18(full bool, seed int64) (string, any) {
+	text, res := smoothness(exp.DefaultFig18(), "Figure 18", full, seed)
+	return text, res
+}
+
+func runFig19(full bool, seed int64) (string, any) {
+	text, res := smoothness(exp.DefaultFig19(), "Figure 19", full, seed)
+	return text, res
+}
+
+func runFig20(bool, int64) (string, any) {
+	res := exp.Fig20(nil)
+	return exp.RenderFig20(res), res
+}

@@ -1,0 +1,158 @@
+// Command slowcctrace runs an ad-hoc mix of congestion-controlled flows
+// on the paper's dumbbell and writes the full packet-level event trace
+// (bottleneck accepts, drops, and ECN marks) as TSV for external
+// plotting, plus a per-second rate table on stdout.
+//
+// Usage:
+//
+//	slowcctrace -flow tcp:0.5 -flow tfrc:8 -dur 30 -out trace.tsv
+//	slowcctrace -flow tcp:0.5 -flow tcp:0.125 -rate 5e6 -dur 60
+//
+// Flow specs: tcp:B, sqrt:B, iiad:B, rap:B, tfrc:K, tfrc+sc:K, tear.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"slowcc"
+)
+
+// flowList collects repeated -flow flags.
+type flowList []string
+
+func (f *flowList) String() string { return strings.Join(*f, ",") }
+
+func (f *flowList) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+func parseAlgo(spec string) (slowcc.Algorithm, error) {
+	name, arg, hasArg := strings.Cut(spec, ":")
+	val := 0.0
+	if hasArg {
+		var err error
+		val, err = strconv.ParseFloat(arg, 64)
+		if err != nil {
+			return slowcc.Algorithm{}, fmt.Errorf("flow %q: %v", spec, err)
+		}
+	}
+	switch strings.ToLower(name) {
+	case "tcp":
+		if !hasArg {
+			val = 0.5
+		}
+		return slowcc.TCP(val), nil
+	case "sqrt":
+		if !hasArg {
+			val = 0.5
+		}
+		return slowcc.SQRT(val), nil
+	case "iiad":
+		if !hasArg {
+			val = 0.5
+		}
+		return slowcc.IIAD(val), nil
+	case "rap":
+		if !hasArg {
+			val = 0.5
+		}
+		return slowcc.RAP(val), nil
+	case "tfrc":
+		k := int(val)
+		if k == 0 {
+			k = 8
+		}
+		return slowcc.TFRC(slowcc.TFRCOptions{K: k, HistoryDiscounting: true}), nil
+	case "tfrc+sc":
+		k := int(val)
+		if k == 0 {
+			k = 8
+		}
+		return slowcc.TFRC(slowcc.TFRCOptions{K: k, Conservative: true, HistoryDiscounting: true}), nil
+	case "tear":
+		return slowcc.TEAR(val), nil
+	}
+	return slowcc.Algorithm{}, fmt.Errorf("unknown algorithm %q (want tcp, sqrt, iiad, rap, tfrc, tfrc+sc, tear)", name)
+}
+
+func main() {
+	var flows flowList
+	flag.Var(&flows, "flow", "flow spec (repeatable), e.g. tcp:0.5, tfrc:8, tear")
+	var (
+		rate = flag.Float64("rate", 10e6, "bottleneck bandwidth, bits/s")
+		dur  = flag.Float64("dur", 30, "simulated duration, seconds")
+		seed = flag.Int64("seed", 1, "simulation seed")
+		out  = flag.String("out", "", "TSV trace output path (omit to skip)")
+		ecn  = flag.Bool("ecn", false, "ECN-marking bottleneck")
+	)
+	flag.Parse()
+	if len(flows) == 0 {
+		flows = flowList{"tcp:0.5", "tfrc:8"}
+	}
+
+	eng := slowcc.NewEngine(*seed)
+	d := slowcc.NewDumbbell(eng, slowcc.DumbbellConfig{Rate: *rate, ECN: *ecn, Seed: *seed})
+	var rec slowcc.Tracer
+	d.LR.AddTap(rec.LinkTap())
+
+	names := make([]string, len(flows))
+	wired := make([]slowcc.Flow, len(flows))
+	for i, spec := range flows {
+		algo, err := parseAlgo(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		names[i] = algo.Name
+		wired[i] = algo.Make(eng, d, i+1)
+		eng.At(0, wired[i].Sender.Start)
+	}
+	eng.RunUntil(*dur)
+
+	fmt.Printf("bottleneck goodput per second (Mbps), %v at %.0f Mbps:\n", names, *rate/1e6)
+	fmt.Printf("%6s", "t")
+	for _, n := range names {
+		fmt.Printf(" %12s", n)
+	}
+	fmt.Println()
+	series := make([][]float64, len(flows))
+	maxLen := 0
+	for i := range flows {
+		series[i] = rec.BinRates(i+1, slowcc.TraceRecv, 1)
+		if len(series[i]) > maxLen {
+			maxLen = len(series[i])
+		}
+	}
+	for t := 0; t < maxLen; t++ {
+		fmt.Printf("%6d", t+1)
+		for i := range flows {
+			v := 0.0
+			if t < len(series[i]) {
+				v = series[i][t] * 8 / 1e6
+			}
+			fmt.Printf(" %12.3f", v)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\n%d events captured, %d drops, %d marks\n",
+		rec.Len(), len(rec.Filter(-1, slowcc.TraceDrop)), len(rec.Filter(-1, slowcc.TraceMark)))
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := rec.WriteTSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s\n", *out)
+	}
+}

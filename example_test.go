@@ -1,0 +1,60 @@
+package slowcc_test
+
+import (
+	"fmt"
+
+	"slowcc"
+)
+
+// Example demonstrates the minimal TCP-vs-TFRC comparison. Runs are
+// deterministic for a fixed seed, so the printed shares are exact.
+func Example() {
+	eng := slowcc.NewEngine(1)
+	d := slowcc.NewDumbbell(eng, slowcc.DumbbellConfig{Rate: 10e6, Seed: 1})
+	tcp := slowcc.TCP(0.5).Make(eng, d, 1)
+	tfrc := slowcc.TFRC(slowcc.TFRCOptions{K: 8, HistoryDiscounting: true}).Make(eng, d, 2)
+	eng.At(0, tcp.Sender.Start)
+	eng.At(0, tfrc.Sender.Start)
+	eng.RunUntil(60)
+
+	total := tcp.RecvBytes() + tfrc.RecvBytes()
+	fmt.Printf("TCP share: %.0f%%\n", 100*float64(tcp.RecvBytes())/float64(total))
+	fmt.Printf("link utilization: %.0f%%\n", float64(total)*8/(10e6*60)*100)
+	// Output:
+	// TCP share: 53%
+	// link utilization: 90%
+}
+
+// ExampleFig20 tabulates the Appendix A analytic models; no simulation
+// involved.
+func ExampleFig20() {
+	for _, pt := range slowcc.Fig20([]float64{0.5}) {
+		fmt.Printf("p=%.1f AIMD+timeouts=%.3f pkts/RTT\n", pt.P, pt.AIMDTimeouts)
+	}
+	// Output:
+	// p=0.5 AIMD+timeouts=0.667 pkts/RTT
+}
+
+// ExampleComputeSmoothness scores a TCP-like halving sawtooth: the
+// paper's smoothness metric is the worst consecutive-interval ratio.
+func ExampleComputeSmoothness() {
+	s := slowcc.ComputeSmoothness([]float64{8, 4, 5, 6, 7, 8, 4})
+	fmt.Printf("min ratio %.2f (1-b for TCP(b=1/2))\n", s.MinRatio)
+	// Output:
+	// min ratio 0.50 (1-b for TCP(b=1/2))
+}
+
+// ExampleCountPattern shows the Figure 17 loss script: three losses
+// each after 50 arrivals, then three each after 400.
+func ExampleCountPattern() {
+	p := &slowcc.CountPattern{Intervals: []int{50, 50, 50, 400, 400, 400}}
+	drops := 0
+	for i := 0; i < 1356; i++ { // exactly one full cycle
+		if p.Drop(0) {
+			drops++
+		}
+	}
+	fmt.Printf("%d drops per %d-packet cycle\n", drops, 1356)
+	// Output:
+	// 6 drops per 1356-packet cycle
+}

@@ -1,0 +1,32 @@
+// Oscillation explores the paper's Section 4.2 drawback: under a
+// square-wave competing load, slowly-responsive flows are late both to
+// back off and to reclaim bandwidth, so they lose throughput to TCP
+// (long-term fairness, Figure 7/8 style) and leave the link under-used
+// when everyone is slow (Figure 14 style).
+package main
+
+import (
+	"fmt"
+
+	"slowcc"
+)
+
+func main() {
+	// Head-to-head fairness: 5 TCP vs 5 TFRC(6) with a 3:1 square-wave.
+	fair := slowcc.DefaultFig7()
+	fair.Periods = []slowcc.Time{0.4, 2, 8, 32}
+	fair.Warmup = 20
+	fair.Measure = 100
+	fair.Seed = 1
+	fmt.Println(slowcc.RenderFairness("TCP vs TFRC(6), 3:1 oscillation", fair, slowcc.Fairness(fair)))
+
+	// Homogeneous utilization: how much of the available bandwidth each
+	// traffic type captures as the oscillation period varies.
+	osc := slowcc.OscillationConfig{
+		Periods: []slowcc.Time{0.1, 0.4, 1.6, 6.4},
+		Warmup:  15,
+		Measure: 90,
+		Seed:    1,
+	}
+	fmt.Println(slowcc.RenderOscillation("Homogeneous traffic, 3:1 oscillation", osc, slowcc.Oscillation(osc)))
+}

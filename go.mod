@@ -1,0 +1,3 @@
+module slowcc
+
+go 1.22

@@ -1,0 +1,176 @@
+// Package cc defines the interfaces shared by every congestion control
+// endpoint in the repository (TCP(b), RAP, binomial, TFRC, CBR), plus the
+// generic per-packet acknowledgment receiver used by the window- and
+// rate-based AIMD senders.
+package cc
+
+import (
+	"slowcc/internal/netem"
+	"slowcc/internal/sim"
+)
+
+// DefaultPktSize is the data packet size in bytes used throughout the
+// paper's scenarios (the ns-2 default).
+const DefaultPktSize = 1000
+
+// DefaultAckSize is the wire size of ACK and feedback packets.
+const DefaultAckSize = 40
+
+// Sender is a transport sender endpoint. It transmits data packets into
+// the network and consumes the acknowledgment or feedback packets the
+// network routes back to it (via Handle, inherited from netem.Handler).
+type Sender interface {
+	netem.Handler
+	// Start begins transmission. It must be called at most once, from an
+	// engine event or before the simulation runs.
+	Start()
+	// Stop ceases transmission permanently and cancels pending timers.
+	Stop()
+	// Stats returns the sender's transmission counters.
+	Stats() *SenderStats
+}
+
+// SenderStats holds counters common to every sender implementation.
+type SenderStats struct {
+	// PktsSent and BytesSent count every transmission, including
+	// retransmissions.
+	PktsSent, BytesSent int64
+	// Rtx counts retransmitted packets.
+	Rtx int64
+	// Timeouts counts retransmit-timer expirations (TCP-like senders) or
+	// no-feedback-timer expirations (rate-based senders).
+	Timeouts int64
+	// LossEvents counts congestion events the sender reacted to.
+	LossEvents int64
+}
+
+// ReceiverStats holds counters common to every receiver implementation.
+type ReceiverStats struct {
+	// PktsRecv and BytesRecv count every arriving data packet, including
+	// duplicates.
+	PktsRecv, BytesRecv int64
+	// UniqueBytes counts first-time (goodput) bytes only.
+	UniqueBytes int64
+}
+
+// AckReceiver is the receiver half used by TCP(b), RAP, and the binomial
+// algorithms: it acknowledges every data packet with a cumulative ACK
+// (no delayed ACKs, matching the paper's model) and echoes the packet's
+// transmit timestamp so the sender can measure RTT per transmission.
+type AckReceiver struct {
+	Eng  *sim.Engine
+	Out  netem.Handler // reverse path toward the sender
+	Flow int
+	// AckSize is the ACK wire size; zero means DefaultAckSize.
+	AckSize int
+	// DelayedAcks enables RFC 1122-style delayed acknowledgments: one
+	// ACK per two data packets, with a 100 ms flush timer. The paper's
+	// TCPs do not delay ACKs, so this is off by default (it exists for
+	// the delayed-ACK ablation).
+	DelayedAcks bool
+
+	R ReceiverStats
+
+	next    int64 // next expected in-order sequence
+	ooo     map[int64]bool
+	pending int // data packets not yet acknowledged (delayed-ACK mode)
+	delayT  *sim.Timer
+	lastPkt *netem.Packet // most recent data packet (for echo fields)
+	ceSeen  bool          // unechoed congestion-experienced mark
+}
+
+// NewAckReceiver returns a receiver for the given flow sending ACKs
+// into out.
+func NewAckReceiver(eng *sim.Engine, flow int, out netem.Handler) *AckReceiver {
+	return &AckReceiver{Eng: eng, Out: out, Flow: flow, ooo: make(map[int64]bool)}
+}
+
+// Handle implements netem.Handler for incoming data packets.
+func (r *AckReceiver) Handle(p *netem.Packet) {
+	if p.Kind != netem.Data {
+		return
+	}
+	r.R.PktsRecv++
+	r.R.BytesRecv += int64(p.Size)
+	isNew := false
+	switch {
+	case p.Seq == r.next:
+		isNew = true
+		r.next++
+		for r.ooo[r.next] {
+			delete(r.ooo, r.next)
+			r.next++
+		}
+	case p.Seq > r.next:
+		if !r.ooo[p.Seq] {
+			isNew = true
+			r.ooo[p.Seq] = true
+		}
+	}
+	if isNew {
+		r.R.UniqueBytes += int64(p.Size)
+	}
+	if p.CE {
+		r.ceSeen = true
+	}
+	r.lastPkt = p
+	if !r.DelayedAcks {
+		r.emitAck()
+		return
+	}
+	// Delayed mode: ACK immediately on the second pending packet, on
+	// out-of-order arrivals (fast retransmit depends on prompt dupacks),
+	// or when the flush timer fires.
+	r.pending++
+	if r.pending >= 2 || p.Seq != r.next-1 || r.ceSeen {
+		r.emitAck()
+		return
+	}
+	if r.delayT == nil || r.delayT.Stopped() {
+		r.delayT = r.Eng.After(0.1, r.emitAck)
+	}
+}
+
+// emitAck sends a cumulative acknowledgment for the current state.
+func (r *AckReceiver) emitAck() {
+	if r.lastPkt == nil {
+		return
+	}
+	if r.delayT != nil {
+		r.delayT.Stop()
+	}
+	r.pending = 0
+	size := r.AckSize
+	if size == 0 {
+		size = DefaultAckSize
+	}
+	r.Out.Handle(&netem.Packet{
+		Flow:    r.Flow,
+		Kind:    netem.Ack,
+		Size:    size,
+		SentAt:  r.Eng.Now(),
+		CumAck:  r.next,
+		AckSeq:  r.lastPkt.Seq,
+		Echo:    r.lastPkt.SentAt,
+		ECNEcho: r.ceSeen,
+	})
+	r.ceSeen = false
+}
+
+// NextExpected returns the lowest sequence number not yet received
+// in order.
+func (r *AckReceiver) NextExpected() int64 { return r.next }
+
+// Stats returns the receiver's counters.
+func (r *AckReceiver) Stats() *ReceiverStats { return &r.R }
+
+// WindowPolicy abstracts the window increase/decrease rules so one TCP
+// transport implementation serves AIMD (TCP(b)) and the binomial
+// algorithms (SQRT, IIAD).
+type WindowPolicy interface {
+	// Increase returns the additive window increment applied per new ACK
+	// during congestion avoidance, given the current window in packets.
+	Increase(cwnd float64) float64
+	// Decrease returns the new window after one loss event.
+	Decrease(cwnd float64) float64
+}

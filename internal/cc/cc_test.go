@@ -1,0 +1,164 @@
+package cc
+
+import (
+	"testing"
+
+	"slowcc/internal/netem"
+	"slowcc/internal/sim"
+)
+
+type ackSink struct{ acks []*netem.Packet }
+
+func (a *ackSink) Handle(p *netem.Packet) { a.acks = append(a.acks, p) }
+
+func data(seq int64) *netem.Packet {
+	return &netem.Packet{Flow: 1, Kind: netem.Data, Seq: seq, Size: 1000, SentAt: 0.5}
+}
+
+func TestAckReceiverInOrder(t *testing.T) {
+	eng := sim.New(1)
+	sink := &ackSink{}
+	r := NewAckReceiver(eng, 1, sink)
+	for i := int64(0); i < 5; i++ {
+		r.Handle(data(i))
+	}
+	if len(sink.acks) != 5 {
+		t.Fatalf("%d acks, want 5 (every packet acked)", len(sink.acks))
+	}
+	last := sink.acks[4]
+	if last.CumAck != 5 || last.AckSeq != 4 {
+		t.Fatalf("final ack CumAck=%d AckSeq=%d, want 5/4", last.CumAck, last.AckSeq)
+	}
+	if last.Kind != netem.Ack {
+		t.Fatalf("ack kind = %d", last.Kind)
+	}
+	if last.Echo != 0.5 {
+		t.Fatalf("ack echo = %v, want the data packet's SentAt", last.Echo)
+	}
+	if r.Stats().UniqueBytes != 5000 || r.Stats().BytesRecv != 5000 {
+		t.Fatalf("stats %+v", r.Stats())
+	}
+}
+
+func TestAckReceiverHole(t *testing.T) {
+	eng := sim.New(1)
+	sink := &ackSink{}
+	r := NewAckReceiver(eng, 1, sink)
+	r.Handle(data(0))
+	r.Handle(data(2)) // 1 missing: duplicate cumulative ack
+	r.Handle(data(3))
+	cums := []int64{1, 1, 1}
+	for i, a := range sink.acks {
+		if a.CumAck != cums[i] {
+			t.Fatalf("ack %d CumAck = %d, want %d", i, a.CumAck, cums[i])
+		}
+	}
+	// Hole fills: cumulative ack jumps over the buffered packets.
+	r.Handle(data(1))
+	if got := sink.acks[3].CumAck; got != 4 {
+		t.Fatalf("after hole fill CumAck = %d, want 4", got)
+	}
+	if r.NextExpected() != 4 {
+		t.Fatalf("NextExpected = %d, want 4", r.NextExpected())
+	}
+}
+
+func TestAckReceiverDuplicateData(t *testing.T) {
+	eng := sim.New(1)
+	sink := &ackSink{}
+	r := NewAckReceiver(eng, 1, sink)
+	r.Handle(data(0))
+	r.Handle(data(0)) // spurious retransmission
+	if r.Stats().BytesRecv != 2000 {
+		t.Fatalf("BytesRecv = %d, want 2000 (all arrivals count)", r.Stats().BytesRecv)
+	}
+	if r.Stats().UniqueBytes != 1000 {
+		t.Fatalf("UniqueBytes = %d, want 1000", r.Stats().UniqueBytes)
+	}
+	if len(sink.acks) != 2 {
+		t.Fatal("duplicates must still be acked (the ack might have been lost)")
+	}
+}
+
+func TestAckReceiverIgnoresControl(t *testing.T) {
+	eng := sim.New(1)
+	sink := &ackSink{}
+	r := NewAckReceiver(eng, 1, sink)
+	r.Handle(&netem.Packet{Kind: netem.Ack})
+	r.Handle(&netem.Packet{Kind: netem.Feedback})
+	if len(sink.acks) != 0 || r.Stats().PktsRecv != 0 {
+		t.Fatal("receiver must ignore non-data packets")
+	}
+}
+
+func TestAckSizeDefaultAndOverride(t *testing.T) {
+	eng := sim.New(1)
+	sink := &ackSink{}
+	r := NewAckReceiver(eng, 1, sink)
+	r.Handle(data(0))
+	if sink.acks[0].Size != DefaultAckSize {
+		t.Fatalf("default ack size = %d, want %d", sink.acks[0].Size, DefaultAckSize)
+	}
+	r.AckSize = 80
+	r.Handle(data(1))
+	if sink.acks[1].Size != 80 {
+		t.Fatalf("ack size = %d, want 80", sink.acks[1].Size)
+	}
+}
+
+func TestDelayedAckImmediateOnOutOfOrder(t *testing.T) {
+	eng := sim.New(1)
+	sink := &ackSink{}
+	r := NewAckReceiver(eng, 1, sink)
+	r.DelayedAcks = true
+	r.Handle(data(0))
+	if len(sink.acks) != 0 {
+		t.Fatal("first packet acked immediately in delayed mode")
+	}
+	// Out-of-order arrival: dupack must go out immediately so fast
+	// retransmit is not delayed.
+	r.Handle(data(2))
+	if len(sink.acks) == 0 {
+		t.Fatal("out-of-order arrival did not flush an immediate ack")
+	}
+}
+
+func TestDelayedAckCEFlushesImmediately(t *testing.T) {
+	eng := sim.New(1)
+	sink := &ackSink{}
+	r := NewAckReceiver(eng, 1, sink)
+	r.DelayedAcks = true
+	p := data(0)
+	p.CE = true
+	r.Handle(p)
+	if len(sink.acks) != 1 || !sink.acks[0].ECNEcho {
+		t.Fatal("congestion-experienced mark must be echoed without delay")
+	}
+}
+
+func TestECNEchoClearsAfterAck(t *testing.T) {
+	eng := sim.New(1)
+	sink := &ackSink{}
+	r := NewAckReceiver(eng, 1, sink)
+	p := data(0)
+	p.CE = true
+	r.Handle(p)
+	r.Handle(data(1))
+	if !sink.acks[0].ECNEcho {
+		t.Fatal("CE not echoed")
+	}
+	if sink.acks[1].ECNEcho {
+		t.Fatal("ECN echo must clear once reported")
+	}
+}
+
+func TestSenderStatsZeroValue(t *testing.T) {
+	var s SenderStats
+	if s.PktsSent != 0 || s.Rtx != 0 || s.Timeouts != 0 || s.LossEvents != 0 {
+		t.Fatal("zero value not zero")
+	}
+	var r ReceiverStats
+	if r.PktsRecv != 0 || r.UniqueBytes != 0 {
+		t.Fatal("zero value not zero")
+	}
+}

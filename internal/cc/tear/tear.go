@@ -1,0 +1,274 @@
+// Package tear implements TCP Emulation At Receivers (Rhee, Ozdemir, Yi
+// — NCSU TR 2000), the fourth SlowCC family the paper surveys: the
+// *receiver* runs TCP's congestion window algorithms (slow-start, AIMD,
+// loss halving) on the arriving packet stream, maintains an
+// exponentially-weighted moving average of the emulated congestion
+// window, divides it by the round-trip time to obtain a TCP-compatible
+// sending rate, and feeds that rate back to the sender, which simply
+// paces transmissions at it. Because the reported rate is a smoothed
+// window average, TEAR's response to any single loss is gentle:
+// TCP-compatible yet slowly-responsive.
+package tear
+
+import (
+	"math"
+
+	"slowcc/internal/cc"
+	"slowcc/internal/netem"
+	"slowcc/internal/sim"
+)
+
+// Receiver runs the emulated TCP window and reports smoothed rates.
+type Receiver struct {
+	Eng *sim.Engine
+	Out netem.Handler
+	// Flow is the flow identifier.
+	Flow int
+	// Alpha is the EWMA gain applied once per emulated round
+	// (default 0.1: the window average spans roughly ten rounds, which
+	// is what makes TEAR slowly-responsive).
+	Alpha float64
+	// FeedbackSize is the wire size of rate reports (default
+	// cc.DefaultAckSize).
+	FeedbackSize int
+
+	R cc.ReceiverStats
+
+	cwnd     float64
+	ssthresh float64
+	rtt      sim.Time
+	maxSeq   int64
+	gotAny   bool
+
+	roundFrac   float64 // emulated RTTs accumulated toward the next fold
+	smoothW     float64 // EWMA of the emulated window, in packets
+	haveW       bool
+	lastEventAt sim.Time
+	pktSize     int
+
+	fbTimer *sim.Timer
+}
+
+// NewReceiver returns a TEAR receiver reporting into out.
+func NewReceiver(eng *sim.Engine, flow int, out netem.Handler) *Receiver {
+	return &Receiver{
+		Eng:  eng,
+		Out:  out,
+		Flow: flow, Alpha: 0.1,
+		cwnd: 2, ssthresh: math.Inf(1),
+		maxSeq:      -1,
+		lastEventAt: math.Inf(-1),
+		pktSize:     cc.DefaultPktSize,
+	}
+}
+
+// Stats returns the receiver counters.
+func (r *Receiver) Stats() *cc.ReceiverStats { return &r.R }
+
+// Rate returns the smoothed TCP-compatible rate in bytes/s.
+func (r *Receiver) Rate() float64 {
+	w := r.cwnd
+	if r.haveW {
+		w = r.smoothW
+	}
+	return w * float64(r.pktSize) / float64(r.currentRTT())
+}
+
+// Window returns the current emulated congestion window in packets.
+func (r *Receiver) Window() float64 { return r.cwnd }
+
+// SmoothedWindow returns the EWMA of the emulated window (0 before the
+// first fold).
+func (r *Receiver) SmoothedWindow() float64 { return r.smoothW }
+
+func (r *Receiver) currentRTT() sim.Time {
+	if r.rtt > 0 {
+		return r.rtt
+	}
+	return 0.05
+}
+
+// Handle implements netem.Handler for arriving data packets.
+func (r *Receiver) Handle(p *netem.Packet) {
+	if p.Kind != netem.Data {
+		return
+	}
+	now := r.Eng.Now()
+	r.R.PktsRecv++
+	r.R.BytesRecv += int64(p.Size)
+	if p.SenderRTT > 0 {
+		r.rtt = p.SenderRTT
+	}
+	r.pktSize = p.Size
+
+	if !r.gotAny {
+		r.gotAny = true
+		r.maxSeq = p.Seq
+		r.R.UniqueBytes += int64(p.Size)
+		r.scheduleFeedback()
+		return
+	}
+	if p.Seq <= r.maxSeq {
+		return
+	}
+	lost := p.Seq - r.maxSeq - 1
+	r.maxSeq = p.Seq
+	r.R.UniqueBytes += int64(p.Size)
+
+	if lost > 0 && now-r.lastEventAt > r.currentRTT() {
+		// Loss event: the emulated TCP halves, at most once per RTT.
+		r.lastEventAt = now
+		r.ssthresh = math.Max(2, r.cwnd/2)
+		r.cwnd = r.ssthresh
+		r.fold()
+		return
+	}
+
+	// Emulate the per-ACK window growth TCP would have had.
+	if r.cwnd < r.ssthresh {
+		r.cwnd++
+	} else {
+		r.cwnd += 1 / math.Max(r.cwnd, 1)
+	}
+	// Each arrival advances emulated time by 1/W of a round; fold the
+	// window into the EWMA once per emulated round.
+	r.roundFrac += 1 / math.Max(r.cwnd, 1)
+	if r.roundFrac >= 1 {
+		r.roundFrac = 0
+		r.fold()
+	}
+}
+
+func (r *Receiver) fold() {
+	if !r.haveW {
+		r.smoothW = r.cwnd
+		r.haveW = true
+		return
+	}
+	r.smoothW = (1-r.Alpha)*r.smoothW + r.Alpha*r.cwnd
+}
+
+func (r *Receiver) scheduleFeedback() {
+	r.fbTimer = r.Eng.After(r.currentRTT(), func() {
+		r.sendFeedback()
+		r.scheduleFeedback()
+	})
+}
+
+// sendFeedback reports the smoothed rate once per RTT.
+func (r *Receiver) sendFeedback() {
+	size := r.FeedbackSize
+	if size == 0 {
+		size = cc.DefaultAckSize
+	}
+	r.Out.Handle(&netem.Packet{
+		Flow:   r.Flow,
+		Kind:   netem.Feedback,
+		Size:   size,
+		SentAt: r.Eng.Now(),
+		Echo:   r.Eng.Now(), // TEAR feedback does not echo data stamps
+		FB:     &netem.TFRCFeedback{RecvRate: r.Rate()},
+	})
+}
+
+// Sender is the trivial TEAR sender: it paces packets at the rate the
+// receiver dictates.
+type Sender struct {
+	Eng *sim.Engine
+	Out netem.Handler
+	// Flow is the flow identifier.
+	Flow int
+	// PktSize is the data packet size (default cc.DefaultPktSize).
+	PktSize int
+
+	st      cc.SenderStats
+	rate    float64
+	seq     int64
+	running bool
+	timer   *sim.Timer
+	srtt    sim.Time
+	lastFB  sim.Time
+}
+
+// NewSender returns a TEAR sender transmitting into out.
+func NewSender(eng *sim.Engine, out netem.Handler, flow int) *Sender {
+	return &Sender{Eng: eng, Out: out, Flow: flow, PktSize: cc.DefaultPktSize}
+}
+
+// Stats implements cc.Sender.
+func (s *Sender) Stats() *cc.SenderStats { return &s.st }
+
+// Rate returns the current paced rate in bytes/s.
+func (s *Sender) Rate() float64 { return s.rate }
+
+// Start implements cc.Sender.
+func (s *Sender) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.rate = float64(s.PktSize) / 0.05 // one packet per nominal RTT
+	s.loop()
+}
+
+// Stop implements cc.Sender.
+func (s *Sender) Stop() {
+	s.running = false
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+}
+
+func (s *Sender) loop() {
+	if !s.running {
+		return
+	}
+	now := s.Eng.Now()
+	// Safety valve: if feedback stops entirely for a second, halve the
+	// rate each loop pass so a dead reverse path cannot freeze the rate
+	// high (the same role TFRC's no-feedback timer plays).
+	if s.lastFB > 0 && now-s.lastFB > 1 {
+		s.rate = math.Max(s.rate/2, float64(s.PktSize)/64)
+		s.lastFB = now
+	}
+	s.st.PktsSent++
+	s.st.BytesSent += int64(s.PktSize)
+	s.Out.Handle(&netem.Packet{
+		Flow:      s.Flow,
+		Kind:      netem.Data,
+		Seq:       s.seq,
+		Size:      s.PktSize,
+		SentAt:    now,
+		SenderRTT: s.srttOrDefault(),
+	})
+	s.seq++
+	gap := float64(s.PktSize) / math.Max(s.rate, 1e-3)
+	s.timer = s.Eng.After(gap, s.loop)
+}
+
+func (s *Sender) srttOrDefault() sim.Time {
+	if s.srtt > 0 {
+		return s.srtt
+	}
+	return 0.05
+}
+
+// Handle implements netem.Handler for receiver rate reports.
+func (s *Sender) Handle(p *netem.Packet) {
+	if p.Kind != netem.Feedback || p.FB == nil || !s.running {
+		return
+	}
+	s.lastFB = s.Eng.Now()
+	if m := s.Eng.Now() - p.SentAt; m > 0 {
+		// One-way feedback delay doubled approximates the RTT well
+		// enough for stamping data packets.
+		if s.srtt == 0 {
+			s.srtt = 2 * m
+		} else {
+			s.srtt = 0.9*s.srtt + 0.1*2*m
+		}
+	}
+	if p.FB.RecvRate > 0 {
+		s.rate = math.Max(p.FB.RecvRate, float64(s.PktSize)/64)
+	}
+}

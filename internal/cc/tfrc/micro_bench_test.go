@@ -1,0 +1,31 @@
+package tfrc
+
+import (
+	"testing"
+
+	"slowcc/internal/sim"
+)
+
+func BenchmarkWALIAverage(b *testing.B) {
+	r := NewReceiver(sim.New(1), 1, &fbSink{}, 8)
+	r.gotAny, r.haveLoss = true, true
+	r.intervals = []int64{120, 80, 150, 90, 200, 70, 110, 95}
+	r.maxSeq = 5000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.avgInterval()
+	}
+}
+
+func BenchmarkWALIAverage256(b *testing.B) {
+	r := NewReceiver(sim.New(1), 1, &fbSink{}, 256)
+	r.gotAny, r.haveLoss = true, true
+	for i := 0; i < 256; i++ {
+		r.intervals = append(r.intervals, int64(50+i))
+	}
+	r.maxSeq = 50000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.avgInterval()
+	}
+}

@@ -1,0 +1,307 @@
+// Package tfrc implements TCP-Friendly Rate Control (Floyd, Handley,
+// Padhye, Widmer — SIGCOMM 2000): equation-based congestion control
+// where the receiver measures the loss event rate as a weighted average
+// over the most recent k loss intervals (WALI) and the sender sets its
+// rate from the Padhye TCP response function. TFRC(k) in the paper's
+// notation is this implementation with NumIntervals = k; the deployed
+// default corresponds roughly to TFRC(6)-TFRC(8).
+//
+// The paper's `conservative_` self-clocking option (Section 4.1.1) is
+// the Sender's Conservative field: after a reported loss the sending
+// rate is capped at the receiver's reported receive rate, and otherwise
+// at C times it, restoring the principle of packet conservation to a
+// rate-based protocol.
+package tfrc
+
+import (
+	"math"
+
+	"slowcc/internal/cc"
+	"slowcc/internal/netem"
+	"slowcc/internal/sim"
+	"slowcc/internal/tcpmodel"
+)
+
+// Weights returns the WALI weight vector for n loss intervals: flat for
+// the most recent half, then linearly declining. For n = 8 this is the
+// specification's {1, 1, 1, 1, 0.8, 0.6, 0.4, 0.2}.
+func Weights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		if 2*i < n {
+			w[i] = 1
+		} else {
+			w[i] = 2 * float64(n-i) / float64(n+2)
+		}
+	}
+	return w
+}
+
+// Receiver is the TFRC receiver half: it detects loss events, maintains
+// the loss-interval history, and reports feedback once per round-trip
+// time (plus immediately upon each new loss event, per the
+// specification).
+type Receiver struct {
+	Eng *sim.Engine
+	Out netem.Handler // reverse path toward the sender
+	// Flow is the flow identifier.
+	Flow int
+	// NumIntervals is k in TFRC(k): the number of loss intervals
+	// averaged (default 8).
+	NumIntervals int
+	// HistoryDiscounting enables the mechanism that de-weights old lossy
+	// intervals when the current interval grows beyond twice the
+	// average (RFC 3448 section 5.5). On by default in ns-2; the paper
+	// disables it for the f(k) study.
+	HistoryDiscounting bool
+	// FeedbackSize is the wire size of feedback packets (default
+	// cc.DefaultAckSize).
+	FeedbackSize int
+
+	R cc.ReceiverStats
+
+	weights []float64
+
+	maxSeq        int64 // highest sequence seen
+	gotAny        bool
+	rtt           sim.Time // sender-stamped RTT estimate
+	lastPktSent   sim.Time // SentAt of the most recent data packet
+	lastPktSize   int
+	eventStart    sim.Time // time the current loss event began
+	eventSeq      int64    // first lost sequence of the current event
+	intervals     []int64  // closed loss intervals, most recent first
+	haveLoss      bool
+	lossSinceFB   bool
+	fbBytes       int64 // bytes since last feedback
+	lastFBTime    sim.Time
+	fbTimer       *sim.Timer
+	lastRecvRate  float64
+	immediatePend bool
+}
+
+// NewReceiver returns a TFRC(k) receiver for the given flow, reporting
+// into out.
+func NewReceiver(eng *sim.Engine, flow int, out netem.Handler, k int) *Receiver {
+	if k <= 0 {
+		k = 8
+	}
+	return &Receiver{
+		Eng:          eng,
+		Out:          out,
+		Flow:         flow,
+		NumIntervals: k,
+		weights:      Weights(k),
+		maxSeq:       -1,
+	}
+}
+
+// Stats returns the receiver's counters.
+func (r *Receiver) Stats() *cc.ReceiverStats { return &r.R }
+
+// LossEventRate returns the current loss event rate estimate (0 before
+// any loss).
+func (r *Receiver) LossEventRate() float64 {
+	if !r.haveLoss {
+		return 0
+	}
+	return 1 / r.avgInterval()
+}
+
+// currentRTT returns the working RTT estimate for feedback scheduling
+// and loss-event coalescing.
+func (r *Receiver) currentRTT() sim.Time {
+	if r.rtt > 0 {
+		return r.rtt
+	}
+	return 0.05
+}
+
+// Handle implements netem.Handler for incoming data packets.
+func (r *Receiver) Handle(p *netem.Packet) {
+	if p.Kind != netem.Data {
+		return
+	}
+	now := r.Eng.Now()
+	r.R.PktsRecv++
+	r.R.BytesRecv += int64(p.Size)
+	r.fbBytes += int64(p.Size)
+	if p.SenderRTT > 0 {
+		r.rtt = p.SenderRTT
+	}
+	r.lastPktSent = p.SentAt
+	r.lastPktSize = p.Size
+
+	if !r.gotAny {
+		r.gotAny = true
+		r.maxSeq = p.Seq
+		r.R.UniqueBytes += int64(p.Size)
+		r.lastFBTime = now
+		r.scheduleFeedback()
+		return
+	}
+	if p.Seq <= r.maxSeq {
+		return // duplicate or reordered; TFRC senders do not retransmit
+	}
+	if gap := p.Seq - r.maxSeq - 1; gap > 0 {
+		r.onLoss(r.maxSeq+1, now)
+	}
+	r.R.UniqueBytes += int64(p.Size)
+	r.maxSeq = p.Seq
+}
+
+// onLoss registers that packet firstLost went missing at time now,
+// opening a new loss event unless one began within the last RTT.
+func (r *Receiver) onLoss(firstLost int64, now sim.Time) {
+	if r.haveLoss && now-r.eventStart < r.currentRTT() {
+		return // same loss event: losses within one RTT coalesce
+	}
+	if !r.haveLoss {
+		// First ever loss event: synthesize the previous interval so
+		// that the equation reproduces the current receive rate
+		// (RFC 3448 section 6.3.1).
+		r.haveLoss = true
+		rate := r.recvRateNow(now)
+		rtt := r.currentRTT()
+		size := r.lastPktSize
+		if size == 0 {
+			size = cc.DefaultPktSize
+		}
+		p := tcpmodel.PadhyeInverse(rate, rtt, 4*rtt, size)
+		first := int64(1 / math.Max(p, 1e-9))
+		if first < 1 {
+			first = 1
+		}
+		r.intervals = append(r.intervals, first)
+	} else {
+		closed := firstLost - r.eventSeq
+		if closed < 1 {
+			closed = 1
+		}
+		r.intervals = append([]int64{closed}, r.intervals...)
+		if len(r.intervals) > r.NumIntervals {
+			r.intervals = r.intervals[:r.NumIntervals]
+		}
+	}
+	r.eventStart = now
+	r.eventSeq = firstLost
+	r.lossSinceFB = true
+	// The specification sends feedback immediately when a new loss
+	// event is detected.
+	r.sendFeedback()
+}
+
+// openInterval returns the length, in packets, of the still-open loss
+// interval (packets received since the current event began).
+func (r *Receiver) openInterval() int64 {
+	n := r.maxSeq - r.eventSeq
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// avgInterval computes the WALI average loss interval: the maximum of
+// the average with and without the open interval, so a long loss-free
+// stretch raises the average but a fresh loss cannot lower it twice.
+func (r *Receiver) avgInterval() float64 {
+	k := r.NumIntervals
+	hist := r.intervals
+	discount := 1.0
+	if r.HistoryDiscounting && len(hist) > 0 {
+		var hsum, hw float64
+		for i, v := range hist {
+			if i >= k {
+				break
+			}
+			hsum += r.weights[i] * float64(v)
+			hw += r.weights[i]
+		}
+		avgHist := hsum / hw
+		open := float64(r.openInterval())
+		if open > 2*avgHist && open > 0 {
+			discount = math.Max(0.5, 2*avgHist/open)
+		}
+	}
+	// With the open interval as I_0. Discounting scales the *weights* of
+	// the closed (historical) intervals, shifting mass toward the long
+	// open interval and so raising the average (RFC 3448 section 5.5).
+	var sum0, w0 float64
+	open := float64(r.openInterval())
+	sum0 = r.weights[0] * open
+	w0 = r.weights[0]
+	for i, v := range hist {
+		if i+1 >= k {
+			break
+		}
+		dw := r.weights[i+1] * discount
+		sum0 += dw * float64(v)
+		w0 += dw
+	}
+	// Without the open interval (no discounting: it only applies when
+	// weighing history against the current good stretch).
+	var sum1, w1 float64
+	for i, v := range hist {
+		if i >= k {
+			break
+		}
+		sum1 += r.weights[i] * float64(v)
+		w1 += r.weights[i]
+	}
+	avg := math.Max(sum0/w0, sum1/w1)
+	if avg < 1 {
+		avg = 1
+	}
+	return avg
+}
+
+// recvRateNow estimates the current receive rate in bytes/s over the
+// window since the last feedback.
+func (r *Receiver) recvRateNow(now sim.Time) float64 {
+	el := now - r.lastFBTime
+	if el <= 0 {
+		return r.lastRecvRate
+	}
+	return float64(r.fbBytes) / el
+}
+
+func (r *Receiver) scheduleFeedback() {
+	r.fbTimer = r.Eng.After(r.currentRTT(), func() {
+		// Per the specification, the feedback timer only produces a
+		// report when data arrived since the previous one. Reporting a
+		// zero receive rate for an empty window would let the sender's
+		// min(X_calc, 2*X_recv) cap pin the rate at the floor forever.
+		if r.fbBytes > 0 {
+			r.sendFeedback()
+		}
+		r.scheduleFeedback()
+	})
+}
+
+// sendFeedback emits one feedback packet and resets the measurement
+// window.
+func (r *Receiver) sendFeedback() {
+	now := r.Eng.Now()
+	rate := r.recvRateNow(now)
+	if rate > 0 || now > r.lastFBTime {
+		r.lastRecvRate = rate
+	}
+	size := r.FeedbackSize
+	if size == 0 {
+		size = cc.DefaultAckSize
+	}
+	r.Out.Handle(&netem.Packet{
+		Flow:   r.Flow,
+		Kind:   netem.Feedback,
+		Size:   size,
+		SentAt: now,
+		Echo:   r.lastPktSent,
+		FB: &netem.TFRCFeedback{
+			LossEventRate: r.LossEventRate(),
+			RecvRate:      r.lastRecvRate,
+			LossSeen:      r.lossSinceFB,
+		},
+	})
+	r.lossSinceFB = false
+	r.fbBytes = 0
+	r.lastFBTime = now
+}

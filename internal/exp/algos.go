@@ -1,0 +1,190 @@
+package exp
+
+import (
+	"fmt"
+
+	"slowcc/internal/cc"
+	"slowcc/internal/cc/binomial"
+	"slowcc/internal/cc/rap"
+	"slowcc/internal/cc/tcp"
+	"slowcc/internal/cc/tear"
+	"slowcc/internal/cc/tfrc"
+	"slowcc/internal/sim"
+	"slowcc/internal/topology"
+)
+
+// TCPAlgo returns TCP(b): full TCP machinery with the TCP-compatible
+// AIMD(b) window rules. TCPAlgo(0.5) is standard TCP.
+func TCPAlgo(b float64) AlgoSpec {
+	return AlgoSpec{
+		Name: fmt.Sprintf("TCP(%s)", fracName(b)),
+		Make: func(eng *sim.Engine, d *topology.Dumbbell, flow int) Flow {
+			rcv := cc.NewAckReceiver(eng, flow, nil)
+			snd := tcp.NewSender(eng, nil, tcp.Config{Flow: flow, Policy: tcp.NewAIMD(b)})
+			snd.Out = d.PathLR(flow, rcv)
+			rcv.Out = d.PathRL(flow, snd)
+			return Flow{
+				Sender:    snd,
+				RecvBytes: func() int64 { return rcv.Stats().BytesRecv },
+				SentBytes: func() int64 { return snd.Stats().BytesSent },
+			}
+		},
+	}
+}
+
+// SQRTAlgo returns the SQRT binomial algorithm with decrease scale b,
+// running over the TCP transport (self-clocked, with timeouts).
+func SQRTAlgo(b float64) AlgoSpec {
+	return binomialAlgo(fmt.Sprintf("SQRT(%s)", fracName(b)), binomial.SQRT(b))
+}
+
+// IIADAlgo returns the IIAD binomial algorithm with decrease scale b.
+func IIADAlgo(b float64) AlgoSpec {
+	return binomialAlgo(fmt.Sprintf("IIAD(%s)", fracName(b)), binomial.IIAD(b))
+}
+
+func binomialAlgo(name string, pol binomial.Policy) AlgoSpec {
+	return AlgoSpec{
+		Name: name,
+		Make: func(eng *sim.Engine, d *topology.Dumbbell, flow int) Flow {
+			rcv := cc.NewAckReceiver(eng, flow, nil)
+			snd := tcp.NewSender(eng, nil, tcp.Config{Flow: flow, Policy: pol})
+			snd.Out = d.PathLR(flow, rcv)
+			rcv.Out = d.PathRL(flow, snd)
+			return Flow{
+				Sender:    snd,
+				RecvBytes: func() int64 { return rcv.Stats().BytesRecv },
+				SentBytes: func() int64 { return snd.Stats().BytesSent },
+			}
+		},
+	}
+}
+
+// RAPAlgo returns RAP(b): rate-based AIMD without self-clocking.
+func RAPAlgo(b float64) AlgoSpec {
+	return AlgoSpec{
+		Name: fmt.Sprintf("RAP(%s)", fracName(b)),
+		Make: func(eng *sim.Engine, d *topology.Dumbbell, flow int) Flow {
+			rcv := cc.NewAckReceiver(eng, flow, nil)
+			snd := rap.NewSender(eng, nil, rap.Config{Flow: flow, B: b})
+			snd.Out = d.PathLR(flow, rcv)
+			rcv.Out = d.PathRL(flow, snd)
+			return Flow{
+				Sender:    snd,
+				RecvBytes: func() int64 { return rcv.Stats().BytesRecv },
+				SentBytes: func() int64 { return snd.Stats().BytesSent },
+			}
+		},
+	}
+}
+
+// TFRCOpts tunes the TFRC algorithm spec.
+type TFRCOpts struct {
+	// K is the number of loss intervals averaged (TFRC(k)).
+	K int
+	// Conservative enables the paper's self-clocking option.
+	Conservative bool
+	// HistoryDiscounting enables RFC 3448 section 5.5 (ns-2 default on).
+	HistoryDiscounting bool
+}
+
+// TFRCAlgo returns TFRC(k) with the given options.
+func TFRCAlgo(o TFRCOpts) AlgoSpec {
+	name := fmt.Sprintf("TFRC(%d)", o.K)
+	if o.Conservative {
+		name += "+SC"
+	}
+	return AlgoSpec{
+		Name: name,
+		Make: func(eng *sim.Engine, d *topology.Dumbbell, flow int) Flow {
+			rcv := tfrc.NewReceiver(eng, flow, nil, o.K)
+			rcv.HistoryDiscounting = o.HistoryDiscounting
+			snd := tfrc.NewSender(eng, nil, tfrc.Config{Flow: flow, Conservative: o.Conservative})
+			snd.Out = d.PathLR(flow, rcv)
+			rcv.Out = d.PathRL(flow, snd)
+			return Flow{
+				Sender:    snd,
+				RecvBytes: func() int64 { return rcv.Stats().BytesRecv },
+				SentBytes: func() int64 { return snd.Stats().BytesSent },
+			}
+		},
+	}
+}
+
+// TEARAlgo returns TCP Emulation At Receivers with the given EWMA gain
+// alpha (0 uses the default 0.1; smaller alpha is more slowly
+// responsive).
+func TEARAlgo(alpha float64) AlgoSpec {
+	name := "TEAR"
+	if alpha > 0 {
+		name = fmt.Sprintf("TEAR(%g)", alpha)
+	}
+	return AlgoSpec{
+		Name: name,
+		Make: func(eng *sim.Engine, d *topology.Dumbbell, flow int) Flow {
+			rcv := tear.NewReceiver(eng, flow, nil)
+			if alpha > 0 {
+				rcv.Alpha = alpha
+			}
+			snd := tear.NewSender(eng, nil, flow)
+			snd.Out = d.PathLR(flow, rcv)
+			rcv.Out = d.PathRL(flow, snd)
+			return Flow{
+				Sender:    snd,
+				RecvBytes: func() int64 { return rcv.Stats().BytesRecv },
+				SentBytes: func() int64 { return snd.Stats().BytesSent },
+			}
+		},
+	}
+}
+
+// ECNTCPAlgo returns TCP(b) with ECN enabled (pair with an ECN-marking
+// dumbbell).
+func ECNTCPAlgo(b float64) AlgoSpec {
+	return AlgoSpec{
+		Name: fmt.Sprintf("ECN-TCP(%s)", fracName(b)),
+		Make: func(eng *sim.Engine, d *topology.Dumbbell, flow int) Flow {
+			rcv := cc.NewAckReceiver(eng, flow, nil)
+			snd := tcp.NewSender(eng, nil, tcp.Config{Flow: flow, Policy: tcp.NewAIMD(b), ECN: true})
+			snd.Out = d.PathLR(flow, rcv)
+			rcv.Out = d.PathRL(flow, snd)
+			return Flow{
+				Sender:    snd,
+				RecvBytes: func() int64 { return rcv.Stats().BytesRecv },
+				SentBytes: func() int64 { return snd.Stats().BytesSent },
+			}
+		},
+	}
+}
+
+// fracName prints b as the paper writes it: 1/2, 1/8, ... or a decimal
+// when not a unit fraction.
+func fracName(b float64) string {
+	if b > 0 && b <= 1 {
+		inv := 1 / b
+		if inv == float64(int(inv)) {
+			return fmt.Sprintf("1/%d", int(inv))
+		}
+	}
+	return fmt.Sprintf("%g", b)
+}
+
+// SACKTCPAlgo returns TCP(b) with selective-acknowledgment recovery
+// (the paper's ns-2 agents were Sack1; the default transport here is
+// NewReno-flavored, so this is the fidelity ablation).
+func SACKTCPAlgo(b float64) AlgoSpec {
+	return AlgoSpec{
+		Name: fmt.Sprintf("SACK-TCP(%s)", fracName(b)),
+		Make: func(eng *sim.Engine, d *topology.Dumbbell, flow int) Flow {
+			rcv := cc.NewAckReceiver(eng, flow, nil)
+			snd := tcp.NewSender(eng, nil, tcp.Config{Flow: flow, Policy: tcp.NewAIMD(b), SACK: true})
+			snd.Out = d.PathLR(flow, rcv)
+			rcv.Out = d.PathRL(flow, snd)
+			return Flow{
+				Sender:    snd,
+				RecvBytes: func() int64 { return rcv.Stats().BytesRecv },
+				SentBytes: func() int64 { return snd.Stats().BytesSent },
+			}
+		},
+	}
+}

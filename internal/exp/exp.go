@@ -1,0 +1,60 @@
+// Package exp contains one driver per table/figure of the paper's
+// evaluation (Figures 3-20), built on the simulator substrate. Each
+// driver has a Config with the paper's parameters as defaults, a typed
+// Result, and a text renderer that prints the same rows/series the paper
+// reports. A Scale knob shortens simulated durations proportionally so
+// the full suite can run quickly in tests and benchmarks; Scale = 1
+// reproduces the paper's timelines.
+package exp
+
+import (
+	"slowcc/internal/cc"
+	"slowcc/internal/sim"
+	"slowcc/internal/topology"
+)
+
+// Flow bundles the endpoints of one wired flow.
+type Flow struct {
+	// Sender is the transmitting endpoint (start it to begin).
+	Sender cc.Sender
+	// RecvBytes reads the receiver's cumulative byte counter.
+	RecvBytes func() int64
+	// SentBytes reads the sender's cumulative byte counter.
+	SentBytes func() int64
+}
+
+// AlgoSpec is a named congestion control algorithm that knows how to
+// wire one flow onto a dumbbell.
+type AlgoSpec struct {
+	// Name identifies the algorithm in tables, e.g. "TCP(1/8)".
+	Name string
+	// Make wires a flow with the given id in the forward direction.
+	Make func(eng *sim.Engine, d *topology.Dumbbell, flow int) Flow
+}
+
+// gammaSteps returns the paper's sweep of the slowness parameter:
+// 1, 2, 4, ..., up to max (256 in the paper).
+func gammaSteps(max int) []int {
+	var out []int
+	for g := 1; g <= max; g *= 2 {
+		out = append(out, g)
+	}
+	return out
+}
+
+// startAll schedules every flow's sender to start at the given time.
+func startAll(eng *sim.Engine, flows []Flow, at sim.Time) {
+	for _, f := range flows {
+		f := f
+		eng.At(at, f.Sender.Start)
+	}
+}
+
+// sumRecv totals received bytes across flows.
+func sumRecv(flows []Flow) int64 {
+	var n int64
+	for _, f := range flows {
+		n += f.RecvBytes()
+	}
+	return n
+}

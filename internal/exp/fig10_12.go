@@ -1,0 +1,179 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"slowcc/internal/metrics"
+	"slowcc/internal/sim"
+	"slowcc/internal/tcpmodel"
+	"slowcc/internal/topology"
+)
+
+// ConvergenceConfig is the Figure 10/12 scenario: two flows of the same
+// algorithm, the second starting once the first owns the whole link, and
+// the delta-fair convergence time between them.
+type ConvergenceConfig struct {
+	// Algo builds both flows.
+	Algo AlgoSpec
+	// Rate is the bottleneck bandwidth (paper: 10 Mbps).
+	Rate float64
+	// Delta is the fairness target (paper: 0.1).
+	Delta float64
+	// SecondStart is when the late flow begins (the first must have
+	// converged by then).
+	SecondStart sim.Time
+	// Horizon bounds the wait for convergence, measured from
+	// SecondStart.
+	Horizon sim.Time
+	// BinWidth smooths the rate comparison (default 1s; convergence is
+	// judged on these bins held for 3 in a row).
+	BinWidth sim.Time
+	// Seeds lists the trials to average over.
+	Seeds []int64
+}
+
+func (c *ConvergenceConfig) fill() {
+	if c.Rate == 0 {
+		c.Rate = 10e6
+	}
+	if c.Delta == 0 {
+		c.Delta = 0.1
+	}
+	if c.SecondStart == 0 {
+		c.SecondStart = 30
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 600
+	}
+	if c.BinWidth == 0 {
+		c.BinWidth = 1
+	}
+	if c.Seeds == nil {
+		c.Seeds = []int64{1, 2, 3}
+	}
+}
+
+// ConvergenceResult reports the average delta-fair convergence time.
+type ConvergenceResult struct {
+	Algo string
+	// MeanTime is the average convergence time over converged trials.
+	MeanTime sim.Time
+	// Converged counts trials that converged within the horizon.
+	Converged, Trials int
+}
+
+// RunConvergence measures one algorithm.
+func RunConvergence(cfg ConvergenceConfig) ConvergenceResult {
+	cfg.fill()
+	res := ConvergenceResult{Algo: cfg.Algo.Name, Trials: len(cfg.Seeds)}
+	type trial struct {
+		t  sim.Time
+		ok bool
+	}
+	trials := parallelMap(len(cfg.Seeds), func(i int) trial {
+		seed := cfg.Seeds[i]
+		eng := sim.New(seed)
+		d := topology.New(eng, topology.Config{Rate: cfg.Rate, Seed: seed})
+		f1 := cfg.Algo.Make(eng, d, 1)
+		f2 := cfg.Algo.Make(eng, d, 2)
+		eng.At(0, f1.Sender.Start)
+		eng.At(cfg.SecondStart, f2.Sender.Start)
+		m1 := metrics.NewMeter(eng, cfg.BinWidth, f1.RecvBytes)
+		m2 := metrics.NewMeter(eng, cfg.BinWidth, f2.RecvBytes)
+		eng.RunUntil(cfg.SecondStart + cfg.Horizon)
+		t, ok := metrics.ConvergenceTime(m1, m2, cfg.SecondStart, cfg.Delta, 3)
+		return trial{t, ok}
+	})
+	var sum sim.Time
+	for _, tr := range trials {
+		if tr.ok {
+			res.Converged++
+			sum += tr.t
+		}
+	}
+	if res.Converged > 0 {
+		res.MeanTime = sum / sim.Time(res.Converged)
+	}
+	return res
+}
+
+// Fig10 sweeps TCP(b) over b = 1/2 ... 1/maxGamma.
+func Fig10(cfg ConvergenceConfig, maxGamma int) []ConvergenceResult {
+	if maxGamma == 0 {
+		maxGamma = 256
+	}
+	var out []ConvergenceResult
+	for _, g := range gammaSteps(maxGamma) {
+		if g == 1 {
+			continue // b = 1 is not meaningful for AIMD decrease
+		}
+		c := cfg
+		c.Algo = TCPAlgo(1 / float64(g))
+		out = append(out, RunConvergence(c))
+	}
+	return out
+}
+
+// Fig12 sweeps TFRC(k) over k = 1 ... maxK.
+func Fig12(cfg ConvergenceConfig, maxK int) []ConvergenceResult {
+	if maxK == 0 {
+		maxK = 256
+	}
+	var out []ConvergenceResult
+	for _, k := range gammaSteps(maxK) {
+		c := cfg
+		c.Algo = TFRCAlgo(TFRCOpts{K: k, HistoryDiscounting: true})
+		out = append(out, RunConvergence(c))
+	}
+	return out
+}
+
+// RenderConvergence prints a Figure 10/12 style table.
+func RenderConvergence(title string, res []ConvergenceResult, horizon sim.Time) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: time to 0.1-fair convergence\n", title)
+	fmt.Fprintf(&b, "%-14s %14s %12s\n", "algorithm", "mean time (s)", "converged")
+	for _, r := range res {
+		tstr := fmt.Sprintf("%.1f", r.MeanTime)
+		if r.Converged == 0 {
+			tstr = fmt.Sprintf(">%.0f", horizon)
+		}
+		fmt.Fprintf(&b, "%-14s %14s %9d/%d\n", r.Algo, tstr, r.Converged, r.Trials)
+	}
+	return b.String()
+}
+
+// Fig11Point is one cell of the analytic Figure 11 curve.
+type Fig11Point struct {
+	B    float64
+	ACKs float64
+}
+
+// Fig11 evaluates the analytic expected-ACK count for delta-fair
+// convergence of two AIMD(b) flows at mark probability p.
+func Fig11(p, delta float64, maxGamma int) []Fig11Point {
+	if maxGamma == 0 {
+		maxGamma = 256
+	}
+	var out []Fig11Point
+	for _, g := range gammaSteps(maxGamma) {
+		if g == 1 {
+			continue
+		}
+		b := 1 / float64(g)
+		out = append(out, Fig11Point{B: b, ACKs: tcpmodel.ConvergenceACKs(b, p, delta)})
+	}
+	return out
+}
+
+// RenderFig11 prints the model curve.
+func RenderFig11(p, delta float64, pts []Fig11Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 11: expected ACKs to %.1f-fair convergence (analytic, p=%.2f)\n", delta, p)
+	fmt.Fprintf(&b, "%10s %16s\n", "b", "E[ACKs]")
+	for _, pt := range pts {
+		fmt.Fprintf(&b, "%10.4f %16.0f\n", pt.B, pt.ACKs)
+	}
+	return b.String()
+}

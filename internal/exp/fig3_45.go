@@ -1,0 +1,283 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"slowcc/internal/cc/cbr"
+	"slowcc/internal/metrics"
+	"slowcc/internal/sim"
+	"slowcc/internal/topology"
+)
+
+// StabilizationConfig is the Figure 3/4/5 scenario: long-lived SlowCC
+// flows, and a CBR source at half the bottleneck rate that pauses and
+// then returns, forcing a sudden halving of the available bandwidth.
+type StabilizationConfig struct {
+	// Algo is the congestion control algorithm under test.
+	Algo AlgoSpec
+	// Flows is the number of long-lived flows (paper: 20).
+	Flows int
+	// Rate is the bottleneck bandwidth (paper: 10 Mbps).
+	Rate float64
+	// CBRFraction is the CBR peak rate as a fraction of the bottleneck
+	// (paper: one half).
+	CBRFraction float64
+	// OffAt, OnAt, End define the CBR timeline: ON from 0 to OffAt, OFF
+	// until OnAt, then ON until End (paper: 150, 180, 400).
+	OffAt, OnAt, End sim.Time
+	// Seed seeds the run.
+	Seed int64
+	// DropTail switches the bottleneck to tail-drop (ablation; the paper
+	// reports the self-clocking result holds there too).
+	DropTail bool
+	// ReverseFlows is the number of reverse-direction TCP flows
+	// (default 2).
+	ReverseFlows int
+}
+
+func (c *StabilizationConfig) fill() {
+	if c.Flows == 0 {
+		c.Flows = 20
+	}
+	if c.Rate == 0 {
+		c.Rate = 10e6
+	}
+	if c.CBRFraction == 0 {
+		c.CBRFraction = 0.5
+	}
+	if c.OffAt == 0 {
+		c.OffAt = 150
+	}
+	if c.OnAt == 0 {
+		c.OnAt = 180
+	}
+	if c.End == 0 {
+		c.End = 400
+	}
+	if c.ReverseFlows == 0 {
+		c.ReverseFlows = 2
+	}
+}
+
+// StabilizationResult reports the Figure 4/5 metrics plus the Figure 3
+// loss-rate time series for one algorithm.
+type StabilizationResult struct {
+	Algo   string
+	Steady float64 // steady-state loss rate with the CBR active
+	Stab   metrics.Stabilization
+	// LossTrace samples the 10-RTT-windowed loss rate from shortly
+	// before the CBR restart to the end of the run.
+	LossTrace []TimePoint
+}
+
+// TimePoint is one sample of a time series.
+type TimePoint struct {
+	T sim.Time
+	V float64
+}
+
+// RunStabilization runs the Figure 3/4/5 scenario for one algorithm.
+func RunStabilization(cfg StabilizationConfig) StabilizationResult {
+	cfg.fill()
+	eng := sim.New(cfg.Seed)
+	d := topology.New(eng, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed, DropTail: cfg.DropTail})
+	rtt := d.Cfg.PropRTT()
+
+	mon := metrics.NewLossMonitor(10 * rtt) // paper: average over ten RTTs
+	d.LR.AddTap(mon.Tap())
+
+	flows := make([]Flow, cfg.Flows)
+	for i := range flows {
+		flows[i] = cfg.Algo.Make(eng, d, i+1)
+	}
+	startAll(eng, flows, 0)
+	withReverseTraffic(eng, d, cfg.ReverseFlows)
+
+	src := addCBR(eng, d, cbrFlowID, cfg.CBRFraction*cfg.Rate, cbr.Steps{
+		At:     []sim.Time{0, cfg.OffAt, cfg.OnAt},
+		Levels: []float64{1, 0, 1},
+	})
+	eng.At(0, src.Start)
+	eng.RunUntil(cfg.End)
+
+	// Steady-state loss for this level of congestion: the tail of the
+	// first ON period. (The paper averages over the whole first 150s;
+	// for the very slow variants that period is dominated by the descent
+	// from the slow-start overshoot, which would inflate the baseline
+	// and hide the post-restart transient, so we use the converged
+	// tail.)
+	steady := mon.RateOver(cfg.OffAt*2/3, cfg.OffAt)
+	st := mon.Stabilization(cfg.OnAt, cfg.End, steady, rtt)
+
+	res := StabilizationResult{Algo: cfg.Algo.Name, Steady: steady, Stab: st}
+	from := cfg.OffAt - 10
+	if from < 0 {
+		from = 0
+	}
+	for i := int(from / mon.Width); i < mon.Bins(); i++ {
+		res.LossTrace = append(res.LossTrace, TimePoint{
+			T: sim.Time(i) * mon.Width,
+			V: mon.Rate(i),
+		})
+	}
+	return res
+}
+
+// Fig3Config selects the algorithms whose loss-rate timelines Figure 3
+// overlays (the paper shows the gamma=256 extremes).
+type Fig3Config struct {
+	Scenario StabilizationConfig // Algo field is ignored
+	Algos    []AlgoSpec
+}
+
+// DefaultFig3 returns the paper's Figure 3 configuration.
+func DefaultFig3() Fig3Config {
+	return Fig3Config{
+		Algos: []AlgoSpec{
+			TCPAlgo(1.0 / 256),
+			SQRTAlgo(1.0 / 256),
+			TFRCAlgo(TFRCOpts{K: 256}),
+			TFRCAlgo(TFRCOpts{K: 256, Conservative: true}),
+			RAPAlgo(1.0 / 256),
+		},
+	}
+}
+
+// Fig3 runs the drop-rate timeline for each algorithm, in parallel.
+func Fig3(cfg Fig3Config) []StabilizationResult {
+	return parallelMap(len(cfg.Algos), func(i int) StabilizationResult {
+		sc := cfg.Scenario
+		sc.Algo = cfg.Algos[i]
+		return RunStabilization(sc)
+	})
+}
+
+// RenderFig3 prints the loss-rate timelines as aligned columns.
+func RenderFig3(res []StabilizationResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3: drop rate timeline around the CBR restart\n")
+	fmt.Fprintf(&b, "%8s", "t(s)")
+	for _, r := range res {
+		fmt.Fprintf(&b, " %14s", r.Algo)
+	}
+	b.WriteByte('\n')
+	if len(res) == 0 || len(res[0].LossTrace) == 0 {
+		return b.String()
+	}
+	for i := range res[0].LossTrace {
+		fmt.Fprintf(&b, "%8.1f", res[0].LossTrace[i].T)
+		for _, r := range res {
+			v := 0.0
+			if i < len(r.LossTrace) {
+				v = r.LossTrace[i].V
+			}
+			fmt.Fprintf(&b, " %13.1f%%", v*100)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig45Config sweeps the slowness parameter gamma for each algorithm
+// family, producing the Figure 4 (stabilization time) and Figure 5
+// (stabilization cost) curves.
+type Fig45Config struct {
+	Scenario StabilizationConfig // Algo ignored
+	// MaxGamma bounds the sweep: 1, 2, 4, ..., MaxGamma (paper: 256).
+	MaxGamma int
+}
+
+// Fig45Point is one (family, gamma) cell.
+type Fig45Point struct {
+	Family string
+	Gamma  int
+	Result StabilizationResult
+}
+
+// Fig45 runs the sweep. Families follow the paper: TCP(1/g), RAP(1/g),
+// SQRT(1/g), TFRC(g), and TFRC(g) with self-clocking.
+func Fig45(cfg Fig45Config) []Fig45Point {
+	if cfg.MaxGamma == 0 {
+		cfg.MaxGamma = 256
+	}
+	families := []struct {
+		name string
+		mk   func(g int) AlgoSpec
+	}{
+		{"TCP(1/g)", func(g int) AlgoSpec { return TCPAlgo(1 / float64(g)) }},
+		{"RAP(1/g)", func(g int) AlgoSpec { return RAPAlgo(1 / float64(g)) }},
+		{"SQRT(1/g)", func(g int) AlgoSpec { return SQRTAlgo(1 / float64(g)) }},
+		{"TFRC(g)", func(g int) AlgoSpec { return TFRCAlgo(TFRCOpts{K: g}) }},
+		{"TFRC(g)+SC", func(g int) AlgoSpec { return TFRCAlgo(TFRCOpts{K: g, Conservative: true}) }},
+	}
+	type job struct {
+		family string
+		gamma  int
+		mk     func(g int) AlgoSpec
+	}
+	var jobs []job
+	for _, fam := range families {
+		for _, g := range gammaSteps(cfg.MaxGamma) {
+			jobs = append(jobs, job{fam.name, g, fam.mk})
+		}
+	}
+	return parallelMap(len(jobs), func(i int) Fig45Point {
+		j := jobs[i]
+		sc := cfg.Scenario
+		sc.Algo = j.mk(j.gamma)
+		return Fig45Point{Family: j.family, Gamma: j.gamma, Result: RunStabilization(sc)}
+	})
+}
+
+// RenderFig45 prints the stabilization time and cost tables.
+func RenderFig45(points []Fig45Point) string {
+	fams, gammas := fig45Axes(points)
+	var b strings.Builder
+	writeTable := func(title string, cell func(Fig45Point) string) {
+		fmt.Fprintf(&b, "%s\n%12s", title, "gamma")
+		for _, f := range fams {
+			fmt.Fprintf(&b, " %12s", f)
+		}
+		b.WriteByte('\n')
+		for _, g := range gammas {
+			fmt.Fprintf(&b, "%12d", g)
+			for _, f := range fams {
+				for _, p := range points {
+					if p.Family == f && p.Gamma == g {
+						fmt.Fprintf(&b, " %12s", cell(p))
+					}
+				}
+			}
+			b.WriteByte('\n')
+		}
+		b.WriteByte('\n')
+	}
+	writeTable("Figure 4: stabilization time (RTTs)", func(p Fig45Point) string {
+		s := fmt.Sprintf("%.0f", p.Result.Stab.TimeRTTs)
+		if !p.Result.Stab.Stabilized {
+			s = ">" + s
+		}
+		return s
+	})
+	writeTable("Figure 5: stabilization cost (RTTs x loss fraction)", func(p Fig45Point) string {
+		return fmt.Sprintf("%.2f", p.Result.Stab.Cost)
+	})
+	return b.String()
+}
+
+func fig45Axes(points []Fig45Point) (fams []string, gammas []int) {
+	seenF := map[string]bool{}
+	seenG := map[int]bool{}
+	for _, p := range points {
+		if !seenF[p.Family] {
+			seenF[p.Family] = true
+			fams = append(fams, p.Family)
+		}
+		if !seenG[p.Gamma] {
+			seenG[p.Gamma] = true
+			gammas = append(gammas, p.Gamma)
+		}
+	}
+	return
+}

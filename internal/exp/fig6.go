@@ -1,0 +1,172 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"slowcc/internal/metrics"
+	"slowcc/internal/sim"
+	"slowcc/internal/topology"
+	"slowcc/internal/workload"
+)
+
+// Fig6Config is the flash-crowd scenario (Section 4.1.2): long-lived
+// SlowCC background traffic, hit at CrowdStart by a stream of short TCP
+// transfers.
+type Fig6Config struct {
+	// Backgrounds are the background traffic types to compare (paper:
+	// TCP(1/2), TFRC(256), TFRC(256) with self-clocking).
+	Backgrounds []AlgoSpec
+	// Flows is the number of background flows.
+	Flows int
+	// Rate is the bottleneck bandwidth.
+	Rate float64
+	// CrowdStart, CrowdDuration, CrowdRate, CrowdPkts shape the flash
+	// crowd (paper: t=25, 5s, 200 flows/s, 10 packets).
+	CrowdStart    sim.Time
+	CrowdDuration sim.Time
+	CrowdRate     float64
+	CrowdPkts     int64
+	// End bounds the run.
+	End sim.Time
+	// BinWidth is the reporting granularity.
+	BinWidth sim.Time
+	// Seed seeds the run.
+	Seed int64
+}
+
+func (c *Fig6Config) fill() {
+	if c.Backgrounds == nil {
+		c.Backgrounds = []AlgoSpec{
+			TCPAlgo(0.5),
+			TFRCAlgo(TFRCOpts{K: 256}),
+			TFRCAlgo(TFRCOpts{K: 256, Conservative: true}),
+		}
+	}
+	if c.Flows == 0 {
+		c.Flows = 8
+	}
+	if c.Rate == 0 {
+		c.Rate = 10e6
+	}
+	if c.CrowdStart == 0 {
+		c.CrowdStart = 25
+	}
+	if c.CrowdDuration == 0 {
+		c.CrowdDuration = 5
+	}
+	if c.CrowdRate == 0 {
+		c.CrowdRate = 200
+	}
+	if c.CrowdPkts == 0 {
+		c.CrowdPkts = 10
+	}
+	if c.End == 0 {
+		c.End = 60
+	}
+	if c.BinWidth == 0 {
+		c.BinWidth = 0.5
+	}
+}
+
+// Fig6Result is the timeline for one background type.
+type Fig6Result struct {
+	Background string
+	// BackgroundRate and CrowdRate are aggregate throughputs in bits/s
+	// per bin.
+	BackgroundRate []TimePoint
+	CrowdRate      []TimePoint
+	// CrowdCompleted counts finished transfers; CrowdBytes the crowd's
+	// total delivered volume.
+	CrowdCompleted int
+	CrowdBytes     int64
+	// CrowdMeanCompletion is the mean transfer latency of completed
+	// crowd flows.
+	CrowdMeanCompletion sim.Time
+}
+
+// Fig6 runs the flash-crowd scenario once per background type.
+func Fig6(cfg Fig6Config) []Fig6Result {
+	cfg.fill()
+	var out []Fig6Result
+	for _, bg := range cfg.Backgrounds {
+		out = append(out, runFig6(cfg, bg))
+	}
+	return out
+}
+
+func runFig6(cfg Fig6Config, bg AlgoSpec) Fig6Result {
+	eng := sim.New(cfg.Seed)
+	d := topology.New(eng, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed})
+
+	flows := make([]Flow, cfg.Flows)
+	for i := range flows {
+		flows[i] = bg.Make(eng, d, i+1)
+	}
+	startAll(eng, flows, 0)
+	withReverseTraffic(eng, d, 2)
+
+	fc := workload.NewFlashCrowd(eng, d, workload.FlashCrowdConfig{
+		Start:       cfg.CrowdStart,
+		Duration:    cfg.CrowdDuration,
+		RatePerSec:  cfg.CrowdRate,
+		PktsPerFlow: cfg.CrowdPkts,
+		FirstFlowID: 10000,
+	})
+
+	bgMeter := metrics.NewMeter(eng, cfg.BinWidth, func() int64 { return sumRecv(flows) })
+	crowdMeter := metrics.NewMeter(eng, cfg.BinWidth, fc.TotalBytesRecv)
+	eng.RunUntil(cfg.End)
+
+	res := Fig6Result{Background: bg.Name, CrowdCompleted: fc.Completed, CrowdBytes: fc.TotalBytesRecv()}
+	for i, r := range bgMeter.Rates() {
+		res.BackgroundRate = append(res.BackgroundRate, TimePoint{T: sim.Time(i+1) * cfg.BinWidth, V: r * 8})
+	}
+	for i, r := range crowdMeter.Rates() {
+		res.CrowdRate = append(res.CrowdRate, TimePoint{T: sim.Time(i+1) * cfg.BinWidth, V: r * 8})
+	}
+	if n := len(fc.CompletionTimes); n > 0 {
+		var s sim.Time
+		for _, ct := range fc.CompletionTimes {
+			s += ct
+		}
+		res.CrowdMeanCompletion = s / sim.Time(n)
+	}
+	return res
+}
+
+// RenderFig6 prints throughput timelines around the crowd plus summary
+// statistics.
+func RenderFig6(cfg Fig6Config, res []Fig6Result) string {
+	cfg.fill()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: aggregate throughput (Mbps) with a flash crowd at t=%.0fs\n", cfg.CrowdStart)
+	fmt.Fprintf(&b, "%7s", "t(s)")
+	for _, r := range res {
+		fmt.Fprintf(&b, " %14s %14s", r.Background+"/bg", "crowd")
+	}
+	b.WriteByte('\n')
+	from := cfg.CrowdStart - 5
+	to := cfg.CrowdStart + 20
+	for i := range res[0].BackgroundRate {
+		t := res[0].BackgroundRate[i].T
+		if t < from || t > to {
+			continue
+		}
+		fmt.Fprintf(&b, "%7.1f", t)
+		for _, r := range res {
+			cv := 0.0
+			if i < len(r.CrowdRate) {
+				cv = r.CrowdRate[i].V
+			}
+			fmt.Fprintf(&b, " %14.2f %14.2f", r.BackgroundRate[i].V/1e6, cv/1e6)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+	for _, r := range res {
+		fmt.Fprintf(&b, "%-16s crowd completed %4d transfers, %7.2f MB, mean latency %6.3fs\n",
+			r.Background, r.CrowdCompleted, float64(r.CrowdBytes)/1e6, r.CrowdMeanCompletion)
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParallelMapOrderAndCompleteness(t *testing.T) {
+	out := parallelMap(100, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestParallelMapEmpty(t *testing.T) {
+	if got := parallelMap(0, func(int) int { return 1 }); len(got) != 0 {
+		t.Fatal("empty map must return empty slice")
+	}
+}
+
+func TestParallelMapSingle(t *testing.T) {
+	out := parallelMap(1, func(i int) string { return "x" })
+	if len(out) != 1 || out[0] != "x" {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+// Property: parallelMap(n, f) == sequential map for any pure f.
+func TestPropertyParallelMatchesSequential(t *testing.T) {
+	f := func(n uint8, mult int16) bool {
+		fn := func(i int) int64 { return int64(i) * int64(mult) }
+		par := parallelMap(int(n), fn)
+		for i := 0; i < int(n); i++ {
+			if par[i] != fn(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFairnessMultiSeedAggregation(t *testing.T) {
+	cfg := FairnessConfig{
+		A: TCPAlgo(0.5), B: TCPAlgo(1.0 / 8),
+		Periods: []float64{2},
+		Warmup:  10, Measure: 30,
+		Seeds: []int64{1, 2, 3},
+	}
+	pts := Fairness(cfg)
+	if len(pts) != 1 {
+		t.Fatalf("%d points, want 1 (aggregated)", len(pts))
+	}
+	p := pts[0]
+	// Pooled per-flow samples: 5 flows x 3 seeds per side.
+	if len(p.APer) != 15 || len(p.BPer) != 15 {
+		t.Fatalf("pooled %d/%d per-flow samples, want 15/15", len(p.APer), len(p.BPer))
+	}
+	if p.AMeanCI <= 0 || p.BMeanCI <= 0 {
+		t.Fatalf("multi-seed CIs must be positive: %+v", p)
+	}
+	if p.AMean <= 0 || p.Utilization <= 0 {
+		t.Fatalf("degenerate aggregate: %+v", p)
+	}
+}
+
+func TestFairnessSingleSeedNoCI(t *testing.T) {
+	cfg := FairnessConfig{
+		A: TCPAlgo(0.5), B: TCPAlgo(1.0 / 8),
+		Periods: []float64{2},
+		Warmup:  10, Measure: 20,
+		Seed: 1,
+	}
+	pts := Fairness(cfg)
+	if pts[0].AMeanCI != 0 || pts[0].BMeanCI != 0 {
+		t.Fatalf("single-seed run must not report CIs: %+v", pts[0])
+	}
+}

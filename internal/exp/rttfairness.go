@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"slowcc/internal/cc"
+	"slowcc/internal/cc/tcp"
+	"slowcc/internal/cc/tfrc"
+	"slowcc/internal/sim"
+	"slowcc/internal/topology"
+)
+
+// RTTFairnessConfig is an extension experiment beyond the paper's
+// figures: the paper restricts its equitability claim to
+// similarly-situated flows (Section 1), noting TCP does not equalize
+// across different round-trip times. This scenario quantifies that:
+// pairs of flows with unequal access delays share a bottleneck, and we
+// measure the short-RTT flow's advantage for TCP and for TFRC.
+type RTTFairnessConfig struct {
+	// Rate is the bottleneck bandwidth.
+	Rate float64
+	// ShortAccess and LongAccess are the two access-link delays; with
+	// the default 21 ms bottleneck the RTTs are 2*(2a + 21ms).
+	ShortAccess, LongAccess sim.Time
+	// Warmup and Measure set the timeline.
+	Warmup, Measure sim.Time
+	// Seed seeds each run.
+	Seed int64
+}
+
+func (c *RTTFairnessConfig) fill() {
+	if c.Rate == 0 {
+		c.Rate = 10e6
+	}
+	if c.ShortAccess == 0 {
+		c.ShortAccess = 0.002 // RTT 50 ms
+	}
+	if c.LongAccess == 0 {
+		c.LongAccess = 0.027 // RTT 150 ms
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 20
+	}
+	if c.Measure == 0 {
+		c.Measure = 120
+	}
+}
+
+// RTTFairnessResult is the outcome for one algorithm family.
+type RTTFairnessResult struct {
+	Algo string
+	// ShortMbps and LongMbps are the two flows' throughputs.
+	ShortMbps, LongMbps float64
+	// Advantage is ShortMbps/LongMbps; 1 would be RTT-fair, and for TCP
+	// theory predicts roughly the inverse RTT ratio.
+	Advantage float64
+}
+
+// RTTFairness runs the scenario for TCP(1/2) and TFRC(8).
+func RTTFairness(cfg RTTFairnessConfig) []RTTFairnessResult {
+	cfg.fill()
+	return []RTTFairnessResult{
+		runRTTFairness(cfg, "TCP(1/2)", wireTCPAt),
+		runRTTFairness(cfg, "TFRC(8)", wireTFRCAt),
+	}
+}
+
+// wireAt wires one flow with a specific access delay and returns its
+// receive-byte reader plus a start function.
+type wireAt func(eng *sim.Engine, d *topology.Dumbbell, flow int, access sim.Time) (start func(), recvBytes func() int64)
+
+func wireTCPAt(eng *sim.Engine, d *topology.Dumbbell, flow int, access sim.Time) (func(), func() int64) {
+	rcv := cc.NewAckReceiver(eng, flow, nil)
+	snd := tcp.NewSender(eng, nil, tcp.Config{Flow: flow})
+	snd.Out = d.PathLRDelay(flow, rcv, access)
+	rcv.Out = d.PathRLDelay(flow, snd, access)
+	return snd.Start, func() int64 { return rcv.Stats().BytesRecv }
+}
+
+func wireTFRCAt(eng *sim.Engine, d *topology.Dumbbell, flow int, access sim.Time) (func(), func() int64) {
+	rcv := tfrc.NewReceiver(eng, flow, nil, 8)
+	rcv.HistoryDiscounting = true
+	snd := tfrc.NewSender(eng, nil, tfrc.Config{Flow: flow})
+	snd.Out = d.PathLRDelay(flow, rcv, access)
+	rcv.Out = d.PathRLDelay(flow, snd, access)
+	return snd.Start, func() int64 { return rcv.Stats().BytesRecv }
+}
+
+func runRTTFairness(cfg RTTFairnessConfig, name string, wire wireAt) RTTFairnessResult {
+	eng := sim.New(cfg.Seed)
+	d := topology.New(eng, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed})
+	startS, readS := wire(eng, d, 1, cfg.ShortAccess)
+	startL, readL := wire(eng, d, 2, cfg.LongAccess)
+	eng.At(0, startS)
+	eng.At(0, startL)
+	eng.RunUntil(cfg.Warmup)
+	baseS, baseL := readS(), readL()
+	eng.RunUntil(cfg.Warmup + cfg.Measure)
+	s := float64(readS()-baseS) * 8 / float64(cfg.Measure)
+	l := float64(readL()-baseL) * 8 / float64(cfg.Measure)
+	res := RTTFairnessResult{Algo: name, ShortMbps: s / 1e6, LongMbps: l / 1e6}
+	if l > 0 {
+		res.Advantage = s / l
+	}
+	return res
+}
+
+// RenderRTTFairness prints the extension-experiment table.
+func RenderRTTFairness(cfg RTTFairnessConfig, res []RTTFairnessResult) string {
+	cfg.fill()
+	var b strings.Builder
+	shortRTT := 2 * (2*cfg.ShortAccess + 0.021)
+	longRTT := 2 * (2*cfg.LongAccess + 0.021)
+	fmt.Fprintf(&b, "RTT fairness (extension): %.0fms-RTT vs %.0fms-RTT flow on one bottleneck\n",
+		shortRTT*1000, longRTT*1000)
+	fmt.Fprintf(&b, "%-10s %12s %12s %12s\n", "algorithm", "short Mbps", "long Mbps", "advantage")
+	for _, r := range res {
+		fmt.Fprintf(&b, "%-10s %12.3f %12.3f %12.2f\n", r.Algo, r.ShortMbps, r.LongMbps, r.Advantage)
+	}
+	return b.String()
+}

@@ -1,0 +1,48 @@
+package exp
+
+import (
+	"slowcc/internal/cc"
+	"slowcc/internal/cc/cbr"
+	"slowcc/internal/cc/tcp"
+	"slowcc/internal/netem"
+	"slowcc/internal/sim"
+	"slowcc/internal/topology"
+)
+
+// nullSink discards packets (the far end of one-way CBR traffic).
+type nullSink struct{}
+
+func (nullSink) Handle(*netem.Packet) {}
+
+// addCBR wires a one-way CBR source across the forward bottleneck.
+func addCBR(eng *sim.Engine, d *topology.Dumbbell, flow int, peak float64, sched cbr.Schedule) *cbr.Source {
+	ingress := d.PathLR(flow, nullSink{})
+	src := cbr.NewSource(eng, ingress, flow, peak, sched)
+	return src
+}
+
+// addReverseTCP wires a long-lived standard TCP flow in the reverse
+// direction. Every paper scenario carries data traffic both ways so
+// that ACKs share a loaded return path.
+func addReverseTCP(eng *sim.Engine, d *topology.Dumbbell, flow int) *tcp.Sender {
+	rcv := cc.NewAckReceiver(eng, flow, nil)
+	snd := tcp.NewSender(eng, nil, tcp.Config{Flow: flow})
+	snd.Out = d.PathRL(flow, rcv) // data right-to-left
+	rcv.Out = d.PathLR(flow, snd) // ACKs left-to-right
+	return snd
+}
+
+// reverseFlowBase offsets reverse-traffic flow ids away from the
+// experiment's own flows.
+const reverseFlowBase = 900
+
+// cbrFlowID is the flow id used by the scenario CBR source.
+const cbrFlowID = 990
+
+// withReverseTraffic starts n reverse-direction TCP flows at t=0.
+func withReverseTraffic(eng *sim.Engine, d *topology.Dumbbell, n int) {
+	for i := 0; i < n; i++ {
+		snd := addReverseTCP(eng, d, reverseFlowBase+i)
+		eng.At(0, snd.Start)
+	}
+}

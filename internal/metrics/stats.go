@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample, used to report
+// multi-seed experiment results as mean +/- spread.
+type Summary struct {
+	N                int
+	Mean, StdDev     float64
+	Min, Max         float64
+	Median, P10, P90 float64
+	// CI95 is the half-width of the 95% confidence interval of the mean
+	// under a normal approximation (1.96 * stddev / sqrt(n)).
+	CI95 float64
+}
+
+// Summarize computes descriptive statistics. An empty sample yields the
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	var m2 float64
+	for _, x := range xs {
+		d := x - s.Mean
+		m2 += d * d
+	}
+	if s.N > 1 {
+		s.StdDev = math.Sqrt(m2 / float64(s.N-1))
+		s.CI95 = 1.96 * s.StdDev / math.Sqrt(float64(s.N))
+	}
+	sorted := append([]float64{}, xs...)
+	sort.Float64s(sorted)
+	s.Median = Percentile(sorted, 0.5)
+	s.P10 = Percentile(sorted, 0.1)
+	s.P90 = Percentile(sorted, 0.9)
+	return s
+}
+
+// Percentile returns the q-quantile (0 <= q <= 1) of an already-sorted
+// sample using linear interpolation. It returns 0 on an empty sample.
+func Percentile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	// Sample stddev of 1..5 is sqrt(2.5).
+	if math.Abs(s.StdDev-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("stddev = %v", s.StdDev)
+	}
+	if s.CI95 <= 0 {
+		t.Fatal("CI95 must be positive for n > 1")
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatal("empty sample must yield zero summary")
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Median != 7 || s.StdDev != 0 || s.CI95 != 0 {
+		t.Fatalf("single sample summary %+v", s)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10, 20, 30, 40}
+	cases := []struct{ q, want float64 }{
+		{0, 0}, {1, 40}, {0.5, 20}, {0.25, 10}, {0.125, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Fatal("empty percentile must be 0")
+	}
+}
+
+// Property: Min <= P10 <= Median <= P90 <= Max and Mean within [Min,Max].
+func TestPropertySummaryOrdering(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		ok := s.Min <= s.P10+1e-9 && s.P10 <= s.Median+1e-9 &&
+			s.Median <= s.P90+1e-9 && s.P90 <= s.Max+1e-9
+		return ok && s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Percentile is monotone in q.
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(raw []int16, qa, qb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		sort.Float64s(xs)
+		a := float64(qa) / 255
+		b := float64(qb) / 255
+		if a > b {
+			a, b = b, a
+		}
+		return Percentile(xs, a) <= Percentile(xs, b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

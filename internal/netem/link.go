@@ -1,0 +1,130 @@
+package netem
+
+import (
+	"math/rand"
+
+	"slowcc/internal/sim"
+)
+
+// LinkStats counts traffic through a link and its queue.
+type LinkStats struct {
+	// Arrivals is the number of packets offered to the link.
+	Arrivals int64
+	// Drops is the number of packets the queue refused.
+	Drops int64
+	// Departures is the number of packets fully transmitted.
+	Departures int64
+	// Bytes is the number of payload bytes fully transmitted.
+	Bytes int64
+}
+
+// Tap observes every packet offered to a link before the queue sees it,
+// along with whether it was accepted. Metrics collectors attach taps to
+// the bottleneck.
+type Tap func(p *Packet, accepted bool, now sim.Time)
+
+// Link models a store-and-forward link: packets wait in a Queue, are
+// serialized at Rate bits per second, and arrive at the destination after
+// a further propagation Delay. A link is unidirectional; bidirectional
+// connectivity uses two Links.
+type Link struct {
+	eng *sim.Engine
+	// Rate is the transmission rate in bits per second.
+	Rate float64
+	// Delay is the one-way propagation delay in seconds.
+	Delay sim.Time
+	// Q is the buffering discipline ahead of the transmitter.
+	Q Queue
+	// Dst receives packets Delay seconds after their last bit is sent.
+	Dst Handler
+	// Jitter, when positive, adds an independent uniform extra delay in
+	// [0, Jitter] to each packet's propagation. Because the extra delay
+	// is per-packet, jitter larger than a packet's transmission time
+	// introduces reordering — useful for robustness tests; real paths in
+	// the paper's scenarios have none.
+	Jitter sim.Time
+	// JitterRNG drives the jitter (required when Jitter > 0).
+	JitterRNG *rand.Rand
+	// Stats accumulates counters for the lifetime of the link.
+	Stats LinkStats
+
+	taps []Tap
+	busy bool
+}
+
+// NewLink returns a link transmitting at rate bits/s with the given
+// one-way propagation delay, queue, and destination.
+func NewLink(eng *sim.Engine, rate float64, delay sim.Time, q Queue, dst Handler) *Link {
+	return &Link{eng: eng, Rate: rate, Delay: delay, Q: q, Dst: dst}
+}
+
+// AddTap registers an observer called for every packet offered to the
+// link, in registration order.
+func (l *Link) AddTap(t Tap) { l.taps = append(l.taps, t) }
+
+// TxTime returns the serialization time of a packet of n bytes.
+func (l *Link) TxTime(n int) sim.Time { return float64(n) * 8 / l.Rate }
+
+// Handle implements Handler: offering a packet to the link enqueues it
+// (or drops it) and kicks the transmitter if idle. This lets links chain
+// directly into one another.
+func (l *Link) Handle(p *Packet) { l.Send(p) }
+
+// Send offers p to the link and reports whether the queue accepted it.
+func (l *Link) Send(p *Packet) bool {
+	now := l.eng.Now()
+	l.Stats.Arrivals++
+	ok := l.Q.Enqueue(p, now)
+	for _, t := range l.taps {
+		t(p, ok, now)
+	}
+	if !ok {
+		l.Stats.Drops++
+		return false
+	}
+	if !l.busy {
+		l.startTx()
+	}
+	return true
+}
+
+// startTx pulls the next packet from the queue and schedules its
+// transmission completion.
+func (l *Link) startTx() {
+	p := l.Q.Dequeue(l.eng.Now())
+	if p == nil {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	l.eng.After(l.TxTime(p.Size), func() { l.finishTx(p) })
+}
+
+func (l *Link) finishTx(p *Packet) {
+	l.Stats.Departures++
+	l.Stats.Bytes += int64(p.Size)
+	dst := l.Dst
+	delay := l.Delay
+	if l.Jitter > 0 && l.JitterRNG != nil {
+		delay += l.Jitter * l.JitterRNG.Float64()
+	}
+	l.eng.After(delay, func() { dst.Handle(p) })
+	l.startTx()
+}
+
+// Utilization returns the fraction of capacity used by the bytes
+// transmitted during an interval of the given length.
+func (s LinkStats) Utilization(rate float64, interval sim.Time) float64 {
+	if rate <= 0 || interval <= 0 {
+		return 0
+	}
+	return float64(s.Bytes) * 8 / (rate * interval)
+}
+
+// DropRate returns the fraction of arrivals that were dropped.
+func (s LinkStats) DropRate() float64 {
+	if s.Arrivals == 0 {
+		return 0
+	}
+	return float64(s.Drops) / float64(s.Arrivals)
+}

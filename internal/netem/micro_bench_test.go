@@ -1,0 +1,38 @@
+package netem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkREDEnqueueDequeue(b *testing.B) {
+	r := NewRED(15, 80, 160, 0.0008, rand.New(rand.NewSource(1)))
+	p := &Packet{Size: 1000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Enqueue(p, float64(i)*0.0008) {
+			r.Dequeue(float64(i) * 0.0008)
+		}
+	}
+}
+
+func BenchmarkDropTailEnqueueDequeue(b *testing.B) {
+	q := NewDropTail(160)
+	p := &Packet{Size: 1000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if q.Enqueue(p, 0) {
+			q.Dequeue(0)
+		}
+	}
+}
+
+func BenchmarkCountPattern(b *testing.B) {
+	p := &CountPattern{Intervals: []int{50, 50, 50, 400, 400, 400}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Drop(0)
+	}
+}

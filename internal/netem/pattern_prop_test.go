@@ -1,0 +1,114 @@
+package netem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: a CountPattern with intervals summing to S drops exactly
+// len(intervals) packets out of every S+len(intervals) offered.
+func TestPropertyCountPatternRate(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 6 {
+			return true
+		}
+		intervals := make([]int, len(raw))
+		sum := 0
+		for i, r := range raw {
+			intervals[i] = int(r)%50 + 1
+			sum += intervals[i]
+		}
+		p := &CountPattern{Intervals: intervals}
+		cycle := sum + len(intervals)
+		drops := 0
+		for i := 0; i < cycle*5; i++ {
+			if p.Drop(0) {
+				drops++
+			}
+		}
+		return drops == 5*len(intervals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a TimedPattern never drops during EveryNth=0 phases and the
+// drop fraction in a lossy phase approaches 1/EveryNth.
+func TestPropertyTimedPatternPhaseRates(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw)%20 + 2
+		p := &TimedPattern{Phases: []TimedPhase{
+			{Duration: 1, EveryNth: n},
+			{Duration: 1, EveryNth: 0},
+		}}
+		// Phase one: offer 10*n packets uniformly in (0,1).
+		drops := 0
+		total := 10 * n
+		for i := 0; i < total; i++ {
+			at := float64(i) / float64(total)
+			if p.Drop(at) {
+				drops++
+			}
+		}
+		if drops != 10 {
+			return false
+		}
+		// Phase two: no drops.
+		for i := 0; i < 100; i++ {
+			if p.Drop(1.0 + float64(i)/101) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountPatternEmptyNeverDrops(t *testing.T) {
+	p := &CountPattern{}
+	for i := 0; i < 100; i++ {
+		if p.Drop(0) {
+			t.Fatal("empty pattern dropped")
+		}
+	}
+}
+
+func TestTimedPatternEmptyNeverDrops(t *testing.T) {
+	p := &TimedPattern{}
+	for i := 0; i < 100; i++ {
+		if p.Drop(float64(i)) {
+			t.Fatal("empty pattern dropped")
+		}
+	}
+}
+
+func TestSevereBurstyStructure(t *testing.T) {
+	// The Figure 18 pattern: verify the cycle boundaries directly.
+	p := &TimedPattern{Phases: []TimedPhase{
+		{Duration: 6, EveryNth: 200},
+		{Duration: 1, EveryNth: 4},
+	}}
+	// Low phase: 1/200 of packets die.
+	drops := 0
+	for i := 0; i < 2000; i++ {
+		if p.Drop(5.9 * float64(i) / 2000) {
+			drops++
+		}
+	}
+	if drops != 10 {
+		t.Fatalf("low phase dropped %d of 2000, want 10", drops)
+	}
+	// Heavy phase (t in [6,7)): 1/4 die.
+	drops = 0
+	for i := 0; i < 400; i++ {
+		if p.Drop(6.0 + 0.9*float64(i)/400) {
+			drops++
+		}
+	}
+	if drops != 100 {
+		t.Fatalf("heavy phase dropped %d of 400, want 100", drops)
+	}
+}

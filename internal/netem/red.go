@@ -1,0 +1,164 @@
+package netem
+
+import (
+	"math"
+	"math/rand"
+
+	"slowcc/internal/sim"
+)
+
+// RED is Random Early Detection queue management (Floyd & Jacobson 1993),
+// operating in packet mode: the average queue size is measured in packets,
+// matching the paper's configuration where thresholds are expressed in
+// multiples of the bandwidth-delay product with fixed-size packets.
+//
+// The drop probability ramps linearly from 0 at MinThresh to MaxP at
+// MaxThresh; above MaxThresh every arrival is dropped (the original,
+// non-gentle RED the paper's era of ns-2 defaulted to). Between marks the
+// count-based correction spreads drops uniformly rather than letting them
+// cluster geometrically.
+type RED struct {
+	// MinThresh and MaxThresh are the average-queue thresholds in packets.
+	MinThresh, MaxThresh float64
+	// MaxP is the drop probability at MaxThresh.
+	MaxP float64
+	// Weight is the EWMA gain for the average queue size.
+	Weight float64
+	// Cap is the physical queue capacity in packets; arrivals beyond it
+	// are dropped regardless of the average.
+	Cap int
+	// MeanPktTime is the transmission time of a typical packet on the
+	// outgoing link, used to age the average across idle periods.
+	MeanPktTime sim.Time
+	// MarkECN makes the queue set the CE bit on ECN-capable packets
+	// instead of dropping them (RFC 2481 behavior). Packets without ECT
+	// are still dropped, as are overflows of the physical buffer.
+	MarkECN bool
+	// Gentle extends the drop ramp linearly from MaxP at MaxThresh to 1
+	// at 2*MaxThresh instead of jumping straight to dropping everything
+	// (ns-2's gentle_ option).
+	Gentle bool
+
+	rng       *rand.Rand
+	q         fifo
+	avg       float64
+	count     int
+	idleSince sim.Time
+	idle      bool
+
+	// EarlyDrops counts drops taken by the RED algorithm; ForcedDrops
+	// counts overflows of the physical buffer. Their sum is the total
+	// number of packets this queue refused. Marks counts CE marks set
+	// in place of early drops when MarkECN is enabled.
+	EarlyDrops, ForcedDrops, Marks int64
+}
+
+// NewRED returns a RED queue with the given thresholds (in packets),
+// physical capacity, and the transmission time of one packet on the
+// attached link. The remaining parameters take the classic defaults
+// (MaxP = 0.1, Weight = 0.002).
+func NewRED(minTh, maxTh float64, capPkts int, meanPktTime sim.Time, rng *rand.Rand) *RED {
+	return &RED{
+		MinThresh:   minTh,
+		MaxThresh:   maxTh,
+		MaxP:        0.1,
+		Weight:      0.002,
+		Cap:         capPkts,
+		MeanPktTime: meanPktTime,
+		rng:         rng,
+		idle:        true,
+		count:       -1,
+	}
+}
+
+// Avg returns the current EWMA of the queue size, in packets.
+func (r *RED) Avg() float64 { return r.avg }
+
+// Enqueue implements Queue.
+func (r *RED) Enqueue(p *Packet, now sim.Time) bool {
+	r.updateAvg(now)
+	switch {
+	case r.avg < r.MinThresh:
+		r.count = -1
+	case r.avg >= r.MaxThresh && !(r.Gentle && r.avg < 2*r.MaxThresh):
+		r.count = 0
+		if !r.notify(p) {
+			r.EarlyDrops++
+			return false
+		}
+	default:
+		r.count++
+		var pb float64
+		if r.avg < r.MaxThresh {
+			pb = r.MaxP * (r.avg - r.MinThresh) / (r.MaxThresh - r.MinThresh)
+		} else {
+			// Gentle region: ramp from MaxP at MaxThresh to 1 at
+			// 2*MaxThresh.
+			pb = r.MaxP + (1-r.MaxP)*(r.avg-r.MaxThresh)/r.MaxThresh
+		}
+		pa := 1.0
+		if float64(r.count)*pb < 1 {
+			pa = pb / (1 - float64(r.count)*pb)
+		}
+		if r.rng.Float64() < pa {
+			r.count = 0
+			if !r.notify(p) {
+				r.EarlyDrops++
+				return false
+			}
+		}
+	}
+	if r.q.n >= r.Cap {
+		r.count = 0
+		r.ForcedDrops++
+		return false
+	}
+	r.q.push(p)
+	return true
+}
+
+// notify delivers a congestion signal for p without dropping it when
+// possible: with ECN marking enabled and an ECN-capable packet it sets
+// CE and reports true (keep the packet); otherwise it reports false
+// (drop it).
+func (r *RED) notify(p *Packet) bool {
+	if r.MarkECN && p.ECT {
+		p.CE = true
+		r.Marks++
+		return true
+	}
+	return false
+}
+
+// updateAvg folds the instantaneous queue size into the EWMA, crediting
+// idle time as a run of virtual empty samples.
+func (r *RED) updateAvg(now sim.Time) {
+	if r.idle {
+		// The queue has been empty since idleSince; pretend m small
+		// packets departed in that span.
+		m := 0.0
+		if r.MeanPktTime > 0 {
+			m = (now - r.idleSince) / r.MeanPktTime
+		}
+		r.avg *= math.Pow(1-r.Weight, m)
+		r.idle = false
+	} else {
+		r.avg = (1-r.Weight)*r.avg + r.Weight*float64(r.q.n)
+	}
+}
+
+// Dequeue implements Queue.
+func (r *RED) Dequeue(now sim.Time) *Packet {
+	p := r.q.pop()
+	if r.q.n == 0 {
+		r.idle = true
+		r.idleSince = now
+	}
+	return p
+}
+
+// Len implements Queue.
+func (r *RED) Len() int { return r.q.n }
+
+// Bytes implements Queue.
+func (r *RED) Bytes() int { return r.q.bytes }

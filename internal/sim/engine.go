@@ -1,0 +1,174 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a priority queue of timed events and a simulated
+// clock. Events scheduled for the same instant fire in the order they were
+// scheduled, which makes runs bit-for-bit reproducible for a given seed.
+// Simulated time is a float64 number of seconds, the same convention ns-2
+// uses; all of the paper's scenarios run for at most a few thousand
+// simulated seconds, far below the range where float64 granularity could
+// reorder events.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a simulated timestamp or duration, in seconds.
+type Time = float64
+
+// Timer is a handle to a scheduled event. The zero value is not meaningful;
+// timers are created by Engine.At and Engine.After.
+type Timer struct {
+	at      Time
+	seq     uint64
+	fn      func()
+	stopped bool
+	index   int // position in the heap, -1 once fired or removed
+}
+
+// Stop cancels the timer. Stopping an already-fired or already-stopped
+// timer is a no-op. Stop reports whether the call prevented the event
+// from firing.
+func (t *Timer) Stop() bool {
+	if t == nil || t.stopped || t.index == -1 {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// Stopped reports whether the timer has been cancelled.
+func (t *Timer) Stopped() bool { return t == nil || t.stopped }
+
+// When returns the simulated time the timer is (or was) scheduled to fire.
+func (t *Timer) When() Time { return t.at }
+
+// Engine is a discrete-event scheduler. Create one with New; the zero
+// value is not usable because it lacks an RNG.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+	nsteps uint64
+}
+
+// New returns an engine whose clock starts at zero and whose random
+// number generator is seeded with seed. Two engines constructed with the
+// same seed and fed the same schedule produce identical runs.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random number generator.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Steps returns the number of events executed so far. It is useful for
+// benchmarking and for loop guards in tests.
+func (e *Engine) Steps() uint64 { return e.nsteps }
+
+// Pending returns the number of events currently scheduled, including
+// stopped timers that have not yet been discarded.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute simulated time t. Scheduling in the
+// past (t < Now) panics: it always indicates a model bug, and silently
+// clamping would corrupt causality.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	tm := &Timer{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, tm)
+	return tm
+}
+
+// After schedules fn to run d seconds from now. Negative d panics.
+func (e *Engine) After(d Time, fn func()) *Timer {
+	return e.At(e.now+d, fn)
+}
+
+// step executes the earliest pending event. It reports false when no
+// runnable events remain.
+func (e *Engine) step() bool {
+	for len(e.events) > 0 {
+		tm := heap.Pop(&e.events).(*Timer)
+		if tm.stopped {
+			continue
+		}
+		e.now = tm.at
+		e.nsteps++
+		tm.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain. Most scenarios instead use
+// RunUntil with an explicit horizon because traffic sources reschedule
+// themselves forever.
+func (e *Engine) Run() {
+	for e.step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t and then advances the
+// clock to exactly t. Events scheduled at t run; events after t stay
+// queued for a later call.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if next.stopped {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		e.step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// eventHeap orders timers by (time, sequence). The sequence tiebreak keeps
+// same-instant events in FIFO order.
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	tm := x.(*Timer)
+	tm.index = len(*h)
+	*h = append(*h, tm)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	tm := old[n-1]
+	old[n-1] = nil
+	tm.index = -1
+	*h = old[:n-1]
+	return tm
+}

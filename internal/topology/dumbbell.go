@@ -1,0 +1,212 @@
+// Package topology builds the paper's simulation topology: a
+// single-bottleneck "dumbbell" with RED queue management at the
+// bottleneck, per-flow access links, and a reverse bottleneck so that
+// acknowledgment traffic shares a (potentially congested) return path.
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"slowcc/internal/netem"
+	"slowcc/internal/sim"
+)
+
+// Config describes a dumbbell. Zero fields take the paper's defaults.
+type Config struct {
+	// Rate is the bottleneck bandwidth in bits per second
+	// (default 10 Mbps).
+	Rate float64
+	// Delay is the bottleneck one-way propagation delay
+	// (default 21 ms).
+	Delay sim.Time
+	// AccessRate is the per-flow access link bandwidth (default 1 Gbps,
+	// i.e. effectively unconstrained).
+	AccessRate float64
+	// AccessDelay is the one-way delay of each access link
+	// (default 2 ms). The end-to-end propagation RTT is
+	// 2*(2*AccessDelay + Delay): 50 ms with the defaults.
+	AccessDelay sim.Time
+	// PktSize is the reference packet size in bytes for converting the
+	// bandwidth-delay product to packets (default cc.DefaultPktSize).
+	PktSize int
+	// QueueFactor sizes the bottleneck buffer as a multiple of the BDP
+	// (default 2.5, per the paper).
+	QueueFactor float64
+	// REDMinFactor and REDMaxFactor set the RED thresholds as multiples
+	// of the BDP (defaults 0.25 and 1.25, per the paper).
+	REDMinFactor, REDMaxFactor float64
+	// DropTail selects simple tail-drop instead of RED at the
+	// bottleneck (used by the paper's ablation).
+	DropTail bool
+	// ECN makes both RED bottlenecks mark ECN-capable packets instead
+	// of dropping them. Ignored with DropTail.
+	ECN bool
+	// Gentle enables RED's gentle ramp above MaxThresh.
+	Gentle bool
+	// ForwardLoss, if non-nil, installs a scripted drop pattern in
+	// front of the forward bottleneck. Data packets are dropped per the
+	// pattern; control packets pass. The smoothness experiments
+	// (Figures 17-19) use it to impose the paper's designed loss
+	// processes.
+	ForwardLoss netem.DropPattern
+	// Seed seeds the RED generators (they draw from a dedicated RNG so
+	// endpoint randomness does not perturb queue randomness).
+	Seed int64
+}
+
+func (c *Config) fill() {
+	if c.Rate == 0 {
+		c.Rate = 10e6
+	}
+	if c.Delay == 0 {
+		c.Delay = 0.021
+	}
+	if c.AccessRate == 0 {
+		c.AccessRate = 1e9
+	}
+	if c.AccessDelay == 0 {
+		c.AccessDelay = 0.002
+	}
+	if c.PktSize == 0 {
+		c.PktSize = 1000
+	}
+	if c.QueueFactor == 0 {
+		c.QueueFactor = 2.5
+	}
+	if c.REDMinFactor == 0 {
+		c.REDMinFactor = 0.25
+	}
+	if c.REDMaxFactor == 0 {
+		c.REDMaxFactor = 1.25
+	}
+}
+
+// PropRTT returns the end-to-end propagation round-trip time of a
+// dumbbell with config c.
+func (c Config) PropRTT() sim.Time {
+	cc := c
+	cc.fill()
+	return 2 * (2*cc.AccessDelay + cc.Delay)
+}
+
+// BDPPkts returns the bottleneck bandwidth-delay product in packets.
+func (c Config) BDPPkts() float64 {
+	cc := c
+	cc.fill()
+	return cc.Rate * cc.PropRTT() / 8 / float64(cc.PktSize)
+}
+
+// Dumbbell is the instantiated topology. LR ("left to right") is the
+// forward bottleneck; RL is the reverse bottleneck.
+type Dumbbell struct {
+	Eng    *sim.Engine
+	Cfg    Config
+	LR, RL *netem.Link
+	// Filter is the scripted loss stage ahead of LR (nil unless
+	// Config.ForwardLoss was set).
+	Filter *netem.LossFilter
+
+	lrEntry netem.Handler         // LR, or Filter when configured
+	demuxR  map[int]netem.Handler // flow -> right-side egress (after LR)
+	demuxL  map[int]netem.Handler // flow -> left-side egress (after RL)
+}
+
+// demux routes packets leaving a bottleneck to the registered per-flow
+// access link.
+type demux struct {
+	table map[int]netem.Handler
+}
+
+func (d demux) Handle(p *netem.Packet) {
+	if h, ok := d.table[p.Flow]; ok {
+		h.Handle(p)
+	}
+	// Unknown flows are silently discarded: a sink for one-way traffic.
+}
+
+// New builds a dumbbell on eng.
+func New(eng *sim.Engine, cfg Config) *Dumbbell {
+	cfg.fill()
+	d := &Dumbbell{
+		Eng:    eng,
+		Cfg:    cfg,
+		demuxR: make(map[int]netem.Handler),
+		demuxL: make(map[int]netem.Handler),
+	}
+	bdp := cfg.BDPPkts()
+	mk := func(seed int64) netem.Queue {
+		capPkts := int(cfg.QueueFactor*bdp + 0.5)
+		if capPkts < 4 {
+			capPkts = 4
+		}
+		if cfg.DropTail {
+			return netem.NewDropTail(capPkts)
+		}
+		txTime := float64(cfg.PktSize) * 8 / cfg.Rate
+		q := netem.NewRED(cfg.REDMinFactor*bdp, cfg.REDMaxFactor*bdp,
+			capPkts, txTime, rand.New(rand.NewSource(seed)))
+		q.MarkECN = cfg.ECN
+		q.Gentle = cfg.Gentle
+		return q
+	}
+	d.LR = netem.NewLink(eng, cfg.Rate, cfg.Delay, mk(cfg.Seed+1), demux{d.demuxR})
+	d.RL = netem.NewLink(eng, cfg.Rate, cfg.Delay, mk(cfg.Seed+2), demux{d.demuxL})
+	d.lrEntry = d.LR
+	if cfg.ForwardLoss != nil {
+		d.Filter = &netem.LossFilter{Pattern: cfg.ForwardLoss, Next: d.LR, Now: eng.Now}
+		d.lrEntry = d.Filter
+	}
+	return d
+}
+
+// PathLR wires a left-to-right path for flow: packets offered to the
+// returned ingress traverse a fresh access link, the forward bottleneck,
+// and a second access link before reaching dst. Registering the same
+// flow twice panics.
+func (d *Dumbbell) PathLR(flow int, dst netem.Handler) netem.Handler {
+	return d.path(flow, dst, d.lrEntry, d.demuxR, d.Cfg.AccessDelay)
+}
+
+// PathRL wires a right-to-left path for flow (the return direction used
+// by ACKs of forward flows, or the data direction of reverse flows).
+func (d *Dumbbell) PathRL(flow int, dst netem.Handler) netem.Handler {
+	return d.path(flow, dst, d.RL, d.demuxL, d.Cfg.AccessDelay)
+}
+
+// PathLRDelay is PathLR with a per-flow access-link delay, used to give
+// flows heterogeneous round-trip times on a shared bottleneck. The
+// flow's propagation RTT becomes 2*(2*accessDelay + bottleneck delay)
+// when PathRLDelay uses the same value.
+func (d *Dumbbell) PathLRDelay(flow int, dst netem.Handler, accessDelay sim.Time) netem.Handler {
+	return d.path(flow, dst, d.lrEntry, d.demuxR, accessDelay)
+}
+
+// PathRLDelay is PathRL with a per-flow access-link delay.
+func (d *Dumbbell) PathRLDelay(flow int, dst netem.Handler, accessDelay sim.Time) netem.Handler {
+	return d.path(flow, dst, d.RL, d.demuxL, accessDelay)
+}
+
+func (d *Dumbbell) path(flow int, dst netem.Handler, bottleneck netem.Handler, table map[int]netem.Handler, accessDelay sim.Time) netem.Handler {
+	if _, dup := table[flow]; dup {
+		panic(fmt.Sprintf("topology: flow %d already registered on this direction", flow))
+	}
+	// Egress access link: bottleneck -> demux -> this link -> dst.
+	out := netem.NewLink(d.Eng, d.Cfg.AccessRate, accessDelay,
+		netem.NewDropTail(1<<20), dst)
+	table[flow] = out
+	// Ingress access link: source -> this link -> bottleneck.
+	in := netem.NewLink(d.Eng, d.Cfg.AccessRate, accessDelay,
+		netem.NewDropTail(1<<20), bottleneck)
+	return in
+}
+
+// ForwardSink registers dst as the right-side consumer for flow without
+// an egress access link (used by one-way CBR traffic where delivery
+// latency does not matter). It panics on duplicate registration.
+func (d *Dumbbell) ForwardSink(flow int, dst netem.Handler) {
+	if _, dup := d.demuxR[flow]; dup {
+		panic(fmt.Sprintf("topology: flow %d already registered on this direction", flow))
+	}
+	d.demuxR[flow] = dst
+}

@@ -1,0 +1,229 @@
+package topology
+
+import (
+	"math"
+	"testing"
+
+	"slowcc/internal/netem"
+	"slowcc/internal/sim"
+)
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	cfg := Config{}
+	if got := cfg.PropRTT(); math.Abs(got-0.05) > 1e-9 {
+		t.Fatalf("default propagation RTT = %v, want 50ms", got)
+	}
+	// 10 Mbps * 50ms / 8 / 1000B = 62.5 packets.
+	if got := cfg.BDPPkts(); math.Abs(got-62.5) > 1e-9 {
+		t.Fatalf("default BDP = %v packets, want 62.5", got)
+	}
+}
+
+type arrival struct {
+	at   []sim.Time
+	pkts []*netem.Packet
+	eng  *sim.Engine
+}
+
+func (a *arrival) Handle(p *netem.Packet) {
+	a.at = append(a.at, a.eng.Now())
+	a.pkts = append(a.pkts, p)
+}
+
+func TestPathDeliveryAndDelay(t *testing.T) {
+	eng := sim.New(1)
+	d := New(eng, Config{Rate: 10e6, Seed: 1})
+	dst := &arrival{eng: eng}
+	in := d.PathLR(7, dst)
+	in.Handle(&netem.Packet{Flow: 7, Kind: netem.Data, Size: 1000})
+	eng.Run()
+	if len(dst.pkts) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(dst.pkts))
+	}
+	// One-way: 2ms + 21ms + 2ms propagation plus serialization.
+	if dst.at[0] < 0.025 || dst.at[0] > 0.027 {
+		t.Fatalf("one-way delivery at %v, want ~25ms + serialization", dst.at[0])
+	}
+}
+
+func TestDemuxSeparatesFlows(t *testing.T) {
+	eng := sim.New(1)
+	d := New(eng, Config{Seed: 1})
+	a := &arrival{eng: eng}
+	b := &arrival{eng: eng}
+	inA := d.PathLR(1, a)
+	inB := d.PathLR(2, b)
+	inA.Handle(&netem.Packet{Flow: 1, Kind: netem.Data, Size: 100})
+	inB.Handle(&netem.Packet{Flow: 2, Kind: netem.Data, Size: 100})
+	eng.Run()
+	if len(a.pkts) != 1 || a.pkts[0].Flow != 1 {
+		t.Fatalf("flow 1 receiver got %d packets", len(a.pkts))
+	}
+	if len(b.pkts) != 1 || b.pkts[0].Flow != 2 {
+		t.Fatalf("flow 2 receiver got %d packets", len(b.pkts))
+	}
+}
+
+func TestUnknownFlowDiscarded(t *testing.T) {
+	eng := sim.New(1)
+	d := New(eng, Config{Seed: 1})
+	in := d.PathLR(1, &arrival{eng: eng})
+	// Flow 99 has no registration: must not panic, just vanish.
+	in.Handle(&netem.Packet{Flow: 99, Kind: netem.Data, Size: 100})
+	eng.Run()
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	eng := sim.New(1)
+	d := New(eng, Config{Seed: 1})
+	d.PathLR(1, &arrival{eng: eng})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate PathLR registration did not panic")
+		}
+	}()
+	d.PathLR(1, &arrival{eng: eng})
+}
+
+func TestReverseDirectionIndependent(t *testing.T) {
+	eng := sim.New(1)
+	d := New(eng, Config{Seed: 1})
+	fwd := &arrival{eng: eng}
+	rev := &arrival{eng: eng}
+	// Same flow id on both directions is legal (data one way, ACKs the
+	// other).
+	inF := d.PathLR(1, fwd)
+	inR := d.PathRL(1, rev)
+	inF.Handle(&netem.Packet{Flow: 1, Kind: netem.Data, Size: 1000})
+	inR.Handle(&netem.Packet{Flow: 1, Kind: netem.Ack, Size: 40})
+	eng.Run()
+	if len(fwd.pkts) != 1 || len(rev.pkts) != 1 {
+		t.Fatalf("fwd %d, rev %d; want 1 each", len(fwd.pkts), len(rev.pkts))
+	}
+}
+
+func TestBottleneckEnforcesRate(t *testing.T) {
+	eng := sim.New(1)
+	d := New(eng, Config{Rate: 1e6, Seed: 1}) // 1 Mbps: 125 pkt/s
+	dst := &arrival{eng: eng}
+	in := d.PathLR(1, dst)
+	// Offer 2 Mbps for 2 seconds.
+	var send func()
+	i := int64(0)
+	send = func() {
+		in.Handle(&netem.Packet{Flow: 1, Kind: netem.Data, Seq: i, Size: 1000})
+		i++
+		if eng.Now() < 2 {
+			eng.After(0.004, send)
+		}
+	}
+	eng.At(0, send)
+	eng.RunUntil(3)
+	got := float64(len(dst.pkts)) * 1000 * 8 / 2 // bps over the 2s offered window (+drain)
+	if got > 1.3e6 {
+		t.Fatalf("delivered %v bps through a 1 Mbps bottleneck", got)
+	}
+	if d.LR.Stats.Drops == 0 {
+		t.Fatal("2x overload never dropped at the bottleneck")
+	}
+}
+
+func TestDropTailOption(t *testing.T) {
+	eng := sim.New(1)
+	d := New(eng, Config{Rate: 1e6, DropTail: true, Seed: 1})
+	if _, ok := d.LR.Q.(*netem.DropTail); !ok {
+		t.Fatalf("DropTail config produced %T", d.LR.Q)
+	}
+	d2 := New(eng, Config{Rate: 1e6, Seed: 1})
+	if _, ok := d2.LR.Q.(*netem.RED); !ok {
+		t.Fatalf("default config produced %T, want RED", d2.LR.Q)
+	}
+}
+
+func TestForwardSinkReceivesCBRStyleTraffic(t *testing.T) {
+	eng := sim.New(1)
+	d := New(eng, Config{Seed: 1})
+	sink := &arrival{eng: eng}
+	d.ForwardSink(5, sink)
+	in := d.PathLR(6, &arrival{eng: eng}) // any ingress reaches the shared bottleneck
+	in.Handle(&netem.Packet{Flow: 5, Kind: netem.Data, Size: 1000})
+	eng.Run()
+	if len(sink.pkts) != 1 {
+		t.Fatalf("sink got %d packets, want 1", len(sink.pkts))
+	}
+}
+
+func TestPathLRDelayChangesRTT(t *testing.T) {
+	eng := sim.New(1)
+	d := New(eng, Config{Rate: 100e6, Seed: 2})
+	fast := &arrival{eng: eng}
+	slow := &arrival{eng: eng}
+	inFast := d.PathLRDelay(1, fast, 0.002)
+	inSlow := d.PathLRDelay(2, slow, 0.027)
+	inFast.Handle(&netem.Packet{Flow: 1, Kind: netem.Data, Size: 1000})
+	inSlow.Handle(&netem.Packet{Flow: 2, Kind: netem.Data, Size: 1000})
+	eng.Run()
+	// One-way: 2*access + 21ms bottleneck (+ serialization).
+	if fast.at[0] > 0.027 {
+		t.Fatalf("fast path delivery at %v, want ~25ms", fast.at[0])
+	}
+	if slow.at[0] < 0.074 || slow.at[0] > 0.078 {
+		t.Fatalf("slow path delivery at %v, want ~75ms", slow.at[0])
+	}
+}
+
+func TestECNConfigPropagates(t *testing.T) {
+	eng := sim.New(1)
+	d := New(eng, Config{ECN: true, Gentle: true, Seed: 3})
+	q := d.LR.Q.(*netem.RED)
+	if !q.MarkECN || !q.Gentle {
+		t.Fatalf("RED options not propagated: MarkECN=%v Gentle=%v", q.MarkECN, q.Gentle)
+	}
+	q2 := d.RL.Q.(*netem.RED)
+	if !q2.MarkECN {
+		t.Fatal("reverse bottleneck missing ECN")
+	}
+}
+
+func TestForwardLossFilterInstalled(t *testing.T) {
+	eng := sim.New(1)
+	d := New(eng, Config{ForwardLoss: &netem.CountPattern{Intervals: []int{0}}, Seed: 4})
+	if d.Filter == nil {
+		t.Fatal("filter not installed")
+	}
+	sink := &arrival{eng: eng}
+	in := d.PathLR(1, sink)
+	in.Handle(&netem.Packet{Flow: 1, Kind: netem.Data, Size: 1000})
+	in.Handle(&netem.Packet{Flow: 1, Kind: netem.Ack, Size: 40})
+	eng.Run()
+	// Drop-every-data-packet pattern: only the ACK survives.
+	if len(sink.pkts) != 1 || sink.pkts[0].Kind != netem.Ack {
+		t.Fatalf("filter let through %d packets", len(sink.pkts))
+	}
+	if d.Filter.Drops != 1 {
+		t.Fatalf("filter drops = %d, want 1", d.Filter.Drops)
+	}
+}
+
+func TestBDPScalesWithRate(t *testing.T) {
+	lo := Config{Rate: 1e6}.BDPPkts()
+	hi := Config{Rate: 100e6}.BDPPkts()
+	if hi != 100*lo {
+		t.Fatalf("BDP not linear in rate: %v vs %v", lo, hi)
+	}
+}
+
+func TestTinyLinkMinimumQueue(t *testing.T) {
+	eng := sim.New(1)
+	// 64 kbps: BDP under a packet; queue must still hold a few packets.
+	d := New(eng, Config{Rate: 64e3, Seed: 5})
+	sink := &arrival{eng: eng}
+	in := d.PathLR(1, sink)
+	for i := int64(0); i < 4; i++ {
+		in.Handle(&netem.Packet{Flow: 1, Kind: netem.Data, Seq: i, Size: 1000})
+	}
+	eng.Run()
+	if len(sink.pkts) == 0 {
+		t.Fatal("tiny link delivered nothing; minimum queue too small")
+	}
+}

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"slowcc/internal/cc"
+	"slowcc/internal/cc/tcp"
+	"slowcc/internal/netem"
+	"slowcc/internal/sim"
+	"slowcc/internal/topology"
+)
+
+func TestRecorderUnbounded(t *testing.T) {
+	var r Recorder
+	for i := 0; i < 100; i++ {
+		r.Record(Event{T: float64(i), Seq: int64(i)})
+	}
+	if r.Len() != 100 || r.Total() != 100 {
+		t.Fatalf("Len=%d Total=%d, want 100/100", r.Len(), r.Total())
+	}
+	evs := r.Events()
+	for i, ev := range evs {
+		if ev.Seq != int64(i) {
+			t.Fatal("events out of order")
+		}
+	}
+}
+
+func TestRecorderRing(t *testing.T) {
+	r := Recorder{Limit: 10}
+	for i := 0; i < 25; i++ {
+		r.Record(Event{Seq: int64(i)})
+	}
+	if r.Len() != 10 || r.Total() != 25 {
+		t.Fatalf("Len=%d Total=%d, want 10/25", r.Len(), r.Total())
+	}
+	evs := r.Events()
+	if evs[0].Seq != 15 || evs[9].Seq != 24 {
+		t.Fatalf("ring kept %d..%d, want 15..24", evs[0].Seq, evs[9].Seq)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for op, want := range map[Op]string{Send: "send", Recv: "recv", Drop: "drop", Mark: "mark", Op(99): "?"} {
+		if op.String() != want {
+			t.Fatalf("Op(%d) = %q, want %q", op, op.String(), want)
+		}
+	}
+}
+
+func TestLinkTapRecordsDropsAndMarks(t *testing.T) {
+	var r Recorder
+	tap := r.LinkTap()
+	tap(&netem.Packet{Flow: 1, Seq: 0, Size: 1000}, true, 0.5)
+	tap(&netem.Packet{Flow: 1, Seq: 1, Size: 1000}, false, 0.6)
+	tap(&netem.Packet{Flow: 1, Seq: 2, Size: 1000, CE: true}, true, 0.7)
+	evs := r.Events()
+	if evs[0].Op != Recv || evs[1].Op != Drop || evs[2].Op != Mark {
+		t.Fatalf("ops %v %v %v, want recv/drop/mark", evs[0].Op, evs[1].Op, evs[2].Op)
+	}
+}
+
+func TestWriteTSV(t *testing.T) {
+	var r Recorder
+	r.Record(Event{T: 1.5, Op: Send, Flow: 3, Kind: netem.Data, Seq: 42, Size: 1000})
+	var buf bytes.Buffer
+	if err := r.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("TSV lines: %d", len(lines))
+	}
+	if lines[0] != "t\top\tflow\tkind\tseq\tsize" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if lines[1] != "1.500000\tsend\t3\t0\t42\t1000" {
+		t.Fatalf("row %q", lines[1])
+	}
+}
+
+func TestFilterAndBinRates(t *testing.T) {
+	var r Recorder
+	// Flow 1: 1000B at t=0.1 and t=0.4 (bin 0), 1000B at t=1.2 (bin 1).
+	r.Record(Event{T: 0.1, Op: Recv, Flow: 1, Size: 1000})
+	r.Record(Event{T: 0.4, Op: Recv, Flow: 1, Size: 1000})
+	r.Record(Event{T: 1.2, Op: Recv, Flow: 1, Size: 1000})
+	r.Record(Event{T: 0.2, Op: Recv, Flow: 2, Size: 500}) // other flow
+	r.Record(Event{T: 0.3, Op: Drop, Flow: 1, Size: 999}) // other op
+	rates := r.BinRates(1, Recv, 1.0)
+	if len(rates) != 2 {
+		t.Fatalf("bins = %d, want 2", len(rates))
+	}
+	if rates[0] != 2000 || rates[1] != 1000 {
+		t.Fatalf("rates %v, want [2000 1000]", rates)
+	}
+	if got := len(r.Filter(-1, Recv)); got != 4 {
+		t.Fatalf("any-flow recv filter found %d, want 4", got)
+	}
+	if r.BinRates(9, Recv, 1.0) != nil {
+		t.Fatal("no-match BinRates must be nil")
+	}
+}
+
+func TestEndToEndTraceOfARealFlow(t *testing.T) {
+	eng := sim.New(1)
+	d := topology.New(eng, topology.Config{Rate: 10e6, Seed: 71})
+	var rec Recorder
+	d.LR.AddTap(rec.LinkTap())
+
+	rcv := cc.NewAckReceiver(eng, 1, nil)
+	snd := tcp.NewSender(eng, nil, tcp.Config{Flow: 1})
+	snd.Out = rec.WrapHandler(Send, eng.Now, d.PathLR(1, rcv))
+	rcv.Out = d.PathRL(1, snd)
+	eng.At(0, snd.Start)
+	eng.RunUntil(20)
+
+	sends := rec.Filter(1, Send)
+	if int64(len(sends)) != snd.Stats().PktsSent {
+		t.Fatalf("trace saw %d sends, sender counted %d", len(sends), snd.Stats().PktsSent)
+	}
+	drops := rec.Filter(1, Drop)
+	if len(drops) == 0 {
+		t.Fatal("a saturating flow should show drops at the bottleneck trace")
+	}
+	recvs := rec.Filter(1, Recv)
+	seen := int64(len(recvs) + len(drops))
+	// Packets still in flight on the access link at the horizon have
+	// been sent but not yet offered to the bottleneck.
+	if seen > snd.Stats().PktsSent || seen < snd.Stats().PktsSent-200 {
+		t.Fatalf("accepted %d + dropped %d vs sent %d at the bottleneck",
+			len(recvs), len(drops), snd.Stats().PktsSent)
+	}
+	// Rate series covers the run and sums to the accepted volume.
+	rates := rec.BinRates(1, Recv, 1.0)
+	var vol float64
+	for _, x := range rates {
+		vol += x
+	}
+	if int64(vol) != int64(len(recvs))*1000 {
+		t.Fatalf("binned volume %v != accepted bytes %d", vol, len(recvs)*1000)
+	}
+}

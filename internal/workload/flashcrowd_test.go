@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"testing"
+
+	"slowcc/internal/sim"
+	"slowcc/internal/topology"
+)
+
+func TestFlashCrowdCountAndSchedule(t *testing.T) {
+	eng := sim.New(1)
+	d := topology.New(eng, topology.Config{Rate: 10e6, Seed: 41})
+	fc := NewFlashCrowd(eng, d, FlashCrowdConfig{
+		Start: 1, Duration: 0.5, RatePerSec: 40, FirstFlowID: 100,
+	})
+	if len(fc.Senders) != 20 {
+		t.Fatalf("crowd has %d flows, want 20", len(fc.Senders))
+	}
+	eng.RunUntil(0.9)
+	for _, r := range fc.Receivers {
+		if r.Stats().PktsRecv != 0 {
+			t.Fatal("crowd flow active before its start time")
+		}
+	}
+	eng.RunUntil(20)
+	if fc.Completed != 20 {
+		t.Fatalf("%d/20 transfers completed on an idle 10 Mbps link", fc.Completed)
+	}
+	for _, ct := range fc.CompletionTimes {
+		if ct <= 0 || ct > 10 {
+			t.Fatalf("implausible completion time %v", ct)
+		}
+	}
+	if fc.TotalBytesRecv() < 20*10*1000 {
+		t.Fatalf("TotalBytesRecv = %d, want >= 200000", fc.TotalBytesRecv())
+	}
+}
+
+func TestFlashCrowdGrabsBandwidth(t *testing.T) {
+	// A dense crowd must move a significant volume quickly even without
+	// competition: 200 flows/s * 1s * 10 pkts = 2000 packets.
+	eng := sim.New(1)
+	d := topology.New(eng, topology.Config{Rate: 10e6, Seed: 42})
+	fc := NewFlashCrowd(eng, d, FlashCrowdConfig{
+		Start: 0, Duration: 1, RatePerSec: 200, FirstFlowID: 1000,
+	})
+	eng.RunUntil(8)
+	if fc.Completed < 150 {
+		t.Fatalf("only %d/200 crowd transfers completed in 8s", fc.Completed)
+	}
+}

@@ -1,0 +1,173 @@
+// Package slowcc is a packet-level network simulator and congestion
+// control laboratory reproducing "Dynamic Behavior of Slowly-Responsive
+// Congestion Control Algorithms" (Bansal, Balakrishnan, Floyd, Shenker —
+// SIGCOMM 2001).
+//
+// It provides, from scratch and in pure Go:
+//
+//   - a deterministic discrete-event engine (NewEngine);
+//   - links, DropTail and RED queues, scripted loss patterns, and a
+//     single-bottleneck dumbbell topology (NewDumbbell);
+//   - the paper's congestion control algorithms: window-based TCP(b)
+//     with self-clocking/slow-start/timeouts, the SQRT and IIAD binomial
+//     algorithms, rate-based RAP(b), and equation-based TFRC(k) with the
+//     paper's conservative self-clocking option (TCP, SQRT, IIAD, RAP,
+//     TFRC);
+//   - ON/OFF CBR sources and flash-crowd workloads for dynamic
+//     scenarios;
+//   - the paper's metrics (stabilization time and cost, delta-fair
+//     convergence, f(k) utilization, smoothness); and
+//   - one experiment driver per figure of the paper (Fig3 ... Fig20).
+//
+// The quickest way in:
+//
+//	eng := slowcc.NewEngine(1)
+//	d := slowcc.NewDumbbell(eng, slowcc.DumbbellConfig{Rate: 10e6})
+//	tcp := slowcc.TCP(0.5).Make(eng, d, 1)
+//	tfrc := slowcc.TFRC(slowcc.TFRCOptions{K: 8}).Make(eng, d, 2)
+//	eng.At(0, tcp.Sender.Start)
+//	eng.At(0, tfrc.Sender.Start)
+//	eng.RunUntil(60)
+//	fmt.Println(tcp.RecvBytes(), tfrc.RecvBytes())
+//
+// The experiment drivers in internal/exp are re-exported here under the
+// same names the paper uses; the slowccsim command wraps them all.
+package slowcc
+
+import (
+	"slowcc/internal/exp"
+	"slowcc/internal/metrics"
+	"slowcc/internal/netem"
+	"slowcc/internal/sim"
+	"slowcc/internal/topology"
+	"slowcc/internal/trace"
+)
+
+// Engine is the discrete-event simulation engine. Time is in seconds.
+type Engine = sim.Engine
+
+// Time is a simulated timestamp or duration in seconds.
+type Time = sim.Time
+
+// NewEngine returns a deterministic engine seeded with seed.
+func NewEngine(seed int64) *Engine { return sim.New(seed) }
+
+// DumbbellConfig configures the single-bottleneck topology; the zero
+// value reproduces the paper's defaults (10 Mbps, 50 ms RTT, RED with
+// thresholds at 0.25/1.25 BDP, buffer 2.5 BDP).
+type DumbbellConfig = topology.Config
+
+// Dumbbell is the instantiated topology.
+type Dumbbell = topology.Dumbbell
+
+// NewDumbbell builds a dumbbell on eng.
+func NewDumbbell(eng *Engine, cfg DumbbellConfig) *Dumbbell { return topology.New(eng, cfg) }
+
+// Flow bundles the endpoints of a wired flow.
+type Flow = exp.Flow
+
+// Algorithm is a named congestion control algorithm that can wire flows
+// onto a dumbbell.
+type Algorithm = exp.AlgoSpec
+
+// TFRCOptions tunes the TFRC algorithm.
+type TFRCOptions = exp.TFRCOpts
+
+// TCP returns TCP(b): the full TCP machinery with TCP-compatible
+// AIMD(b) window rules; TCP(0.5) is standard TCP.
+func TCP(b float64) Algorithm { return exp.TCPAlgo(b) }
+
+// SQRT returns the SQRT binomial algorithm with decrease scale b.
+func SQRT(b float64) Algorithm { return exp.SQRTAlgo(b) }
+
+// IIAD returns the IIAD binomial algorithm with decrease scale b.
+func IIAD(b float64) Algorithm { return exp.IIADAlgo(b) }
+
+// RAP returns the rate-based AIMD algorithm RAP(b).
+func RAP(b float64) Algorithm { return exp.RAPAlgo(b) }
+
+// TFRC returns TFRC(k) per the options.
+func TFRC(o TFRCOptions) Algorithm { return exp.TFRCAlgo(o) }
+
+// TEAR returns TCP Emulation At Receivers with EWMA gain alpha
+// (0 selects the default 0.1).
+func TEAR(alpha float64) Algorithm { return exp.TEARAlgo(alpha) }
+
+// ECNTCP returns TCP(b) with ECN enabled; pair it with a dumbbell whose
+// DumbbellConfig.ECN is set.
+func ECNTCP(b float64) Algorithm { return exp.ECNTCPAlgo(b) }
+
+// Packet is a simulated packet.
+type Packet = netem.Packet
+
+// Handler consumes packets.
+type Handler = netem.Handler
+
+// DropPattern scripts deterministic losses (see CountPattern and
+// TimedPattern in this package).
+type DropPattern = netem.DropPattern
+
+// CountPattern drops one packet after every Intervals[i] arrivals,
+// cycling.
+type CountPattern = netem.CountPattern
+
+// TimedPattern cycles through timed drop phases.
+type TimedPattern = netem.TimedPattern
+
+// TimedPhase is one phase of a TimedPattern.
+type TimedPhase = netem.TimedPhase
+
+// LossMonitor tallies arrivals and drops at a link in time bins.
+type LossMonitor = metrics.LossMonitor
+
+// NewLossMonitor returns a monitor with the given bin width; attach its
+// Tap to a link.
+func NewLossMonitor(width Time) *LossMonitor { return metrics.NewLossMonitor(width) }
+
+// Meter samples a counter periodically into a rate series.
+type Meter = metrics.Meter
+
+// NewMeter starts sampling read() every width seconds.
+func NewMeter(eng *Engine, width Time, read func() int64) *Meter {
+	return metrics.NewMeter(eng, width, read)
+}
+
+// Smoothness summarizes rate variability; ComputeSmoothness evaluates a
+// series.
+type Smoothness = metrics.Smoothness
+
+// ComputeSmoothness evaluates a rate series.
+func ComputeSmoothness(rates []float64) Smoothness { return metrics.ComputeSmoothness(rates) }
+
+// Summary holds descriptive statistics of a sample (mean, stddev,
+// percentiles, 95% CI) for aggregating multi-seed results.
+type Summary = metrics.Summary
+
+// Summarize computes descriptive statistics of a sample.
+func Summarize(xs []float64) Summary { return metrics.Summarize(xs) }
+
+// JainIndex returns Jain's fairness index of the given allocations.
+func JainIndex(xs []float64) float64 { return metrics.JainIndex(xs) }
+
+// Tracer records per-packet events (sends, receipts, drops, ECN marks)
+// and exports them as TSV or binned rate series. Attach LinkTap to a
+// link or wrap a handler with WrapHandler.
+type Tracer = trace.Recorder
+
+// TraceEvent is one recorded packet event.
+type TraceEvent = trace.Event
+
+// TraceOp is a trace event type.
+type TraceOp = trace.Op
+
+// Trace event operations.
+const (
+	TraceSend = trace.Send
+	TraceRecv = trace.Recv
+	TraceDrop = trace.Drop
+	TraceMark = trace.Mark
+)
+
+// SACKTCP returns TCP(b) with selective-acknowledgment recovery, the
+// closest match to the paper's ns-2 Sack1 agents.
+func SACKTCP(b float64) Algorithm { return exp.SACKTCPAlgo(b) }
