@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+# ci is the gate future PRs run: static checks, a full build, and the
+# complete test suite under the race detector. The exp package's
+# TestMain enables the invariant auditing layer for the whole
+# scaled-down figure suite, so packet-accounting regressions fail here
+# even when no figure-level assertion notices them; -race additionally
+# exercises parallelMap's worker pool.
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench smoke-runs every benchmark once; invariants stay disabled so the
+# numbers reflect the production configuration.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...

@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"sync"
+
+	"slowcc/internal/cc/rap"
+	"slowcc/internal/cc/tcp"
+	"slowcc/internal/cc/tear"
+	"slowcc/internal/cc/tfrc"
+	"slowcc/internal/invariant"
+	"slowcc/internal/sim"
+	"slowcc/internal/topology"
+)
+
+// Audit mode makes every scenario a figure driver constructs run under
+// the internal/invariant auditing layer: packet conservation on every
+// link, clock sanity on every event, and per-flow byte and bound checks.
+// The exp tests enable it for the whole package (see TestMain), so the
+// scaled-down figure suite cannot pass while any accounting invariant is
+// broken; benchmarks and production runs leave it off and pay only a nil
+// check per event. The collector is shared across engines because sweep
+// drivers run scenarios concurrently via parallelMap.
+var audit struct {
+	mu         sync.Mutex
+	enabled    bool
+	total      int64
+	violations []invariant.Violation // capped at auditMaxRecorded
+	auditors   map[*sim.Engine]*invariant.Auditor
+}
+
+const auditMaxRecorded = 200
+
+// EnableAudit turns invariant auditing of figure-driver scenarios on or
+// off. It affects scenarios constructed after the call.
+func EnableAudit(on bool) {
+	audit.mu.Lock()
+	defer audit.mu.Unlock()
+	audit.enabled = on
+	if on && audit.auditors == nil {
+		audit.auditors = make(map[*sim.Engine]*invariant.Auditor)
+	}
+}
+
+// AuditViolations returns the number of invariant violations observed so
+// far and a snapshot of the recorded ones.
+func AuditViolations() (int64, []invariant.Violation) {
+	audit.mu.Lock()
+	defer audit.mu.Unlock()
+	return audit.total, append([]invariant.Violation(nil), audit.violations...)
+}
+
+// ResetAudit clears the violation collector (test isolation).
+func ResetAudit() {
+	audit.mu.Lock()
+	defer audit.mu.Unlock()
+	audit.total = 0
+	audit.violations = nil
+}
+
+func recordAuditViolation(v invariant.Violation) {
+	audit.mu.Lock()
+	defer audit.mu.Unlock()
+	audit.total++
+	if len(audit.violations) < auditMaxRecorded {
+		audit.violations = append(audit.violations, v)
+	}
+}
+
+// newScenario constructs the engine and dumbbell every figure driver
+// runs on, wiring the invariant auditor through both when audit mode is
+// enabled.
+func newScenario(seed int64, tc topology.Config) (*sim.Engine, *topology.Dumbbell) {
+	eng := sim.New(seed)
+	audit.mu.Lock()
+	on := audit.enabled
+	audit.mu.Unlock()
+	if on {
+		a := invariant.New(eng)
+		a.Report = recordAuditViolation
+		tc.Audit = a
+		audit.mu.Lock()
+		audit.auditors[eng] = a
+		audit.mu.Unlock()
+	}
+	d := topology.New(eng, tc)
+	return eng, d
+}
+
+// auditorFor returns the auditor attached to eng by newScenario, or nil.
+func auditorFor(eng *sim.Engine) *invariant.Auditor {
+	audit.mu.Lock()
+	defer audit.mu.Unlock()
+	return audit.auditors[eng]
+}
+
+// watchFlow registers a wired flow's byte counters and its sender's
+// declared control-variable bounds with the scenario's auditor. The
+// bounds are deliberately loose sanity envelopes — their job is to catch
+// NaN, infinities, negative windows, and runaway state, not to encode
+// algorithm dynamics.
+func watchFlow(a *invariant.Auditor, name string, f Flow) {
+	a.WatchFlow(name, f.SentBytes, f.RecvBytes)
+	switch s := f.Sender.(type) {
+	case *tcp.Sender:
+		a.WatchValue(name+"/cwnd", s.Cwnd, 0, 1e7)
+	case *rap.Sender:
+		a.WatchValue(name+"/rate", s.RatePktsPerRTT, 0, 1e7)
+	case *tfrc.Sender:
+		a.WatchValue(name+"/rate", s.Rate, 0, 1e12)
+	case *tear.Sender:
+		a.WatchValue(name+"/rate", s.Rate, 0, 1e12)
+	}
+}

@@ -8,6 +8,8 @@
 package exp
 
 import (
+	"fmt"
+
 	"slowcc/internal/cc"
 	"slowcc/internal/sim"
 	"slowcc/internal/topology"
@@ -43,9 +45,15 @@ func gammaSteps(max int) []int {
 }
 
 // startAll schedules every flow's sender to start at the given time.
+// When the scenario runs in audit mode, each flow's byte counters and
+// control-variable bounds are also registered with the auditor.
 func startAll(eng *sim.Engine, flows []Flow, at sim.Time) {
-	for _, f := range flows {
+	a := auditorFor(eng)
+	for i, f := range flows {
 		f := f
+		if a != nil {
+			watchFlow(a, fmt.Sprintf("flow-%d@%g", i, at), f)
+		}
 		eng.At(at, f.Sender.Start)
 	}
 }

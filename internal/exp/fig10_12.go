@@ -73,8 +73,7 @@ func RunConvergence(cfg ConvergenceConfig) ConvergenceResult {
 	}
 	trials := parallelMap(len(cfg.Seeds), func(i int) trial {
 		seed := cfg.Seeds[i]
-		eng := sim.New(seed)
-		d := topology.New(eng, topology.Config{Rate: cfg.Rate, Seed: seed})
+		eng, d := newScenario(seed, topology.Config{Rate: cfg.Rate, Seed: seed})
 		f1 := cfg.Algo.Make(eng, d, 1)
 		f2 := cfg.Algo.Make(eng, d, 2)
 		eng.At(0, f1.Sender.Start)

@@ -84,8 +84,7 @@ func Fig13(cfg Fig13Config) []Fig13Point {
 }
 
 func runFig13(cfg Fig13Config, family string, gamma int, algo AlgoSpec) Fig13Point {
-	eng := sim.New(cfg.Seed)
-	d := topology.New(eng, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed})
+	eng, d := newScenario(cfg.Seed, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed})
 	rtt := d.Cfg.PropRTT()
 
 	flows := make([]Flow, cfg.Flows)

@@ -99,8 +99,7 @@ func Oscillation(cfg OscillationConfig) []OscillationPoint {
 }
 
 func runOscillation(cfg OscillationConfig, algo AlgoSpec, period sim.Time) OscillationPoint {
-	eng := sim.New(cfg.Seed)
-	d := topology.New(eng, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed})
+	eng, d := newScenario(cfg.Seed, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed})
 	mon := metrics.NewLossMonitor(0.5)
 	d.LR.AddTap(mon.Tap())
 

@@ -90,8 +90,7 @@ func RunSmoothness(cfg SmoothnessConfig) []SmoothnessResult {
 }
 
 func runSmoothnessOne(cfg SmoothnessConfig, algo AlgoSpec) SmoothnessResult {
-	eng := sim.New(cfg.Seed)
-	d := topology.New(eng, topology.Config{
+	eng, d := newScenario(cfg.Seed, topology.Config{
 		Rate:        cfg.Rate,
 		Seed:        cfg.Seed,
 		ForwardLoss: cfg.Pattern(),

@@ -80,8 +80,7 @@ type TimePoint struct {
 // RunStabilization runs the Figure 3/4/5 scenario for one algorithm.
 func RunStabilization(cfg StabilizationConfig) StabilizationResult {
 	cfg.fill()
-	eng := sim.New(cfg.Seed)
-	d := topology.New(eng, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed, DropTail: cfg.DropTail})
+	eng, d := newScenario(cfg.Seed, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed, DropTail: cfg.DropTail})
 	rtt := d.Cfg.PropRTT()
 
 	mon := metrics.NewLossMonitor(10 * rtt) // paper: average over ten RTTs

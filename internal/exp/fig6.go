@@ -96,8 +96,7 @@ func Fig6(cfg Fig6Config) []Fig6Result {
 }
 
 func runFig6(cfg Fig6Config, bg AlgoSpec) Fig6Result {
-	eng := sim.New(cfg.Seed)
-	d := topology.New(eng, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed})
+	eng, d := newScenario(cfg.Seed, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed})
 
 	flows := make([]Flow, cfg.Flows)
 	for i := range flows {

@@ -143,8 +143,7 @@ func mergeFairness(trials []FairnessPoint) FairnessPoint {
 }
 
 func runFairness(cfg FairnessConfig, period sim.Time) FairnessPoint {
-	eng := sim.New(cfg.Seed)
-	d := topology.New(eng, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed, ECN: cfg.ECN})
+	eng, d := newScenario(cfg.Seed, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed, ECN: cfg.ECN})
 
 	n := cfg.AFlows + cfg.BFlows
 	flows := make([]Flow, 0, n)

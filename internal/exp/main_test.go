@@ -1,0 +1,30 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestMain runs the entire exp package — the scaled-down figure suite,
+// the conservation tests, and the soak — with the invariant auditing
+// layer enabled, so every scenario a driver constructs is checked for
+// packet conservation, clock sanity, and flow accounting as it runs. A
+// suite that passes its own assertions but breached any invariant still
+// fails here. Benchmarks (which live in the root package) construct
+// scenarios with auditing off and are unaffected.
+func TestMain(m *testing.M) {
+	EnableAudit(true)
+	code := m.Run()
+	EnableAudit(false)
+	if total, vs := AuditViolations(); total > 0 {
+		fmt.Fprintf(os.Stderr, "invariant: %d violation(s) during the exp suite:\n", total)
+		for _, v := range vs {
+			fmt.Fprintf(os.Stderr, "  %s\n", v)
+		}
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

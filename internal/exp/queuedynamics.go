@@ -83,8 +83,7 @@ func QueueDynamics(cfg QueueDynamicsConfig) []QueueDynamicsResult {
 }
 
 func runQueueDynamics(cfg QueueDynamicsConfig, algo AlgoSpec) QueueDynamicsResult {
-	eng := sim.New(cfg.Seed)
-	d := topology.New(eng, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed, DropTail: cfg.DropTail})
+	eng, d := newScenario(cfg.Seed, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed, DropTail: cfg.DropTail})
 	lossMon := metrics.NewLossMonitor(0.5)
 	d.LR.AddTap(lossMon.Tap())
 	qMon := metrics.NewQueueMonitor(eng, cfg.SamplePeriod, d.LR.Q.Len)

@@ -4,20 +4,21 @@ import (
 	"testing"
 
 	"slowcc/internal/metrics"
-	"slowcc/internal/sim"
 	"slowcc/internal/topology"
 )
 
 // TestSoakMixedTraffic runs a long, adversarial scenario mixing every
 // algorithm with churn (flows stopping and restarting via new flows),
 // an oscillating CBR, scripted extra loss, and checks the global
-// invariants hold throughout. Guarded by -short.
+// invariants hold throughout via the invariant auditing layer (enabled
+// package-wide by TestMain), which verifies conservation at every
+// accounting transition rather than on a sampling cadence. Guarded by
+// -short.
 func TestSoakMixedTraffic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test")
 	}
-	eng := sim.New(99)
-	d := topology.New(eng, topology.Config{Rate: 10e6, Seed: 99})
+	eng, d := newScenario(99, topology.Config{Rate: 10e6, Seed: 99})
 	mon := metrics.NewLossMonitor(1)
 	d.LR.AddTap(mon.Tap())
 
@@ -47,22 +48,13 @@ func TestSoakMixedTraffic(t *testing.T) {
 	}
 	startAll(eng, late, 150)
 
-	// Periodic invariant checks.
-	violations := 0
-	var check func()
-	check = func() {
-		s := d.LR.Stats
-		inQ := int64(d.LR.Q.Len())
-		if s.Arrivals-s.Drops-s.Departures-inQ > 1 || s.Arrivals-s.Drops-s.Departures-inQ < 0 {
-			violations++
-		}
-		eng.After(5, check)
-	}
-	eng.At(5, check)
-
 	eng.RunUntil(300)
-	if violations > 0 {
-		t.Fatalf("%d conservation violations during soak", violations)
+	if a := auditorFor(eng); a != nil {
+		if err := a.Err(); err != nil {
+			t.Fatalf("soak breached invariants: %v", err)
+		}
+	} else {
+		t.Fatal("soak ran without the invariant auditor attached")
 	}
 	all := append(append([]Flow{}, flows...), late...)
 	var total int64

@@ -116,8 +116,7 @@ func StaticCompat(cfg StaticCompatConfig) []StaticCompatPoint {
 // staticRun measures one flow's post-warmup throughput in bits/s under
 // a drop-every-nth pattern.
 func staticRun(cfg StaticCompatConfig, algo AlgoSpec, n int) float64 {
-	eng := sim.New(cfg.Seed)
-	d := topology.New(eng, topology.Config{
+	eng, d := newScenario(cfg.Seed, topology.Config{
 		Rate:        cfg.Rate,
 		Seed:        cfg.Seed,
 		ForwardLoss: &netem.CountPattern{Intervals: []int{n - 1}},

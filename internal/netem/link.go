@@ -23,6 +23,18 @@ type LinkStats struct {
 // the bottleneck.
 type Tap func(p *Packet, accepted bool, now sim.Time)
 
+// LinkAuditor checks link accounting invariants (see internal/invariant).
+// AuditLink is called after every accounting transition — each Send and
+// each transmission completion — with the link in a settled state, so an
+// implementation can assert the conservation law
+//
+//	Arrivals == Drops + Departures + Q.Len() + (1 if transmitting)
+//
+// at every audit point.
+type LinkAuditor interface {
+	AuditLink(l *Link, now sim.Time)
+}
+
 // Link models a store-and-forward link: packets wait in a Queue, are
 // serialized at Rate bits per second, and arrive at the destination after
 // a further propagation Delay. A link is unidirectional; bidirectional
@@ -47,6 +59,9 @@ type Link struct {
 	JitterRNG *rand.Rand
 	// Stats accumulates counters for the lifetime of the link.
 	Stats LinkStats
+	// Audit, when non-nil, is invoked after every accounting transition.
+	// Nil (the default) costs one pointer check per packet event.
+	Audit LinkAuditor
 
 	taps []Tap
 	busy bool
@@ -70,6 +85,11 @@ func (l *Link) TxTime(n int) sim.Time { return float64(n) * 8 / l.Rate }
 // directly into one another.
 func (l *Link) Handle(p *Packet) { l.Send(p) }
 
+// Busy reports whether a packet is currently being serialized onto the
+// wire. That packet has been dequeued but not yet counted as a
+// departure, so conservation checks must account for it separately.
+func (l *Link) Busy() bool { return l.busy }
+
 // Send offers p to the link and reports whether the queue accepted it.
 func (l *Link) Send(p *Packet) bool {
 	now := l.eng.Now()
@@ -80,10 +100,16 @@ func (l *Link) Send(p *Packet) bool {
 	}
 	if !ok {
 		l.Stats.Drops++
+		if l.Audit != nil {
+			l.Audit.AuditLink(l, now)
+		}
 		return false
 	}
 	if !l.busy {
 		l.startTx()
+	}
+	if l.Audit != nil {
+		l.Audit.AuditLink(l, now)
 	}
 	return true
 }
@@ -110,6 +136,9 @@ func (l *Link) finishTx(p *Packet) {
 	}
 	l.eng.After(delay, func() { dst.Handle(p) })
 	l.startTx()
+	if l.Audit != nil {
+		l.Audit.AuditLink(l, l.eng.Now())
+	}
 }
 
 // Utilization returns the fraction of capacity used by the bytes

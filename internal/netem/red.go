@@ -77,6 +77,17 @@ func (r *RED) Avg() float64 { return r.avg }
 // Enqueue implements Queue.
 func (r *RED) Enqueue(p *Packet, now sim.Time) bool {
 	r.updateAvg(now)
+	// A full physical buffer forces the drop no matter what the average
+	// says, so it must be checked before the mark/early-drop logic runs:
+	// otherwise an ECN-capable packet can be CE-marked by notify and then
+	// force-dropped anyway, inflating Marks (and mutating a packet that
+	// never transits) while also consuming a random draw that shifts the
+	// drop sequence for every later arrival.
+	if r.q.n >= r.Cap {
+		r.count = 0
+		r.ForcedDrops++
+		return false
+	}
 	switch {
 	case r.avg < r.MinThresh:
 		r.count = -1
@@ -107,11 +118,6 @@ func (r *RED) Enqueue(p *Packet, now sim.Time) bool {
 				return false
 			}
 		}
-	}
-	if r.q.n >= r.Cap {
-		r.count = 0
-		r.ForcedDrops++
-		return false
 	}
 	r.q.push(p)
 	return true

@@ -1,0 +1,78 @@
+package netem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestREDForcedDropDoesNotMark is the regression test for the
+// mark-then-drop accounting bug: with ECN marking enabled, a packet
+// arriving to a full physical buffer used to be CE-marked by the
+// average-queue logic and then force-dropped by the capacity check,
+// inflating Marks (and mutating a packet that never transits). Marks
+// must only count packets that are actually kept.
+func TestREDForcedDropDoesNotMark(t *testing.T) {
+	r := NewRED(1, 2, 4, 0.0008, rand.New(rand.NewSource(1)))
+	r.MarkECN = true
+	// Fill the physical buffer while the average is still below
+	// MinThresh (EWMA weight 0.002 barely moves in four arrivals).
+	for i := 0; i < 4; i++ {
+		if !r.Enqueue(&Packet{Size: 1000, ECT: true}, 0) {
+			t.Fatalf("packet %d rejected while filling the buffer", i)
+		}
+	}
+	// Snap the average onto the instantaneous queue size (4 > MaxThresh
+	// = 2) so the marking branch would fire if it were consulted.
+	r.Weight = 1
+	p := &Packet{Size: 1000, ECT: true}
+	if r.Enqueue(p, 0) {
+		t.Fatal("packet accepted beyond the physical capacity")
+	}
+	if p.CE {
+		t.Fatal("force-dropped packet was CE-marked")
+	}
+	if r.Marks != 0 {
+		t.Fatalf("Marks = %d counts a packet that never transits, want 0", r.Marks)
+	}
+	if r.ForcedDrops != 1 || r.EarlyDrops != 0 {
+		t.Fatalf("drop split forced=%d early=%d, want forced=1 early=0",
+			r.ForcedDrops, r.EarlyDrops)
+	}
+}
+
+// TestREDDropSplitSumsToRefusals drives a RED queue hard across the
+// early-drop and forced-drop regimes and checks that EarlyDrops +
+// ForcedDrops equals exactly the number of refused packets — the
+// decomposition the invariant layer asserts on every audited link.
+func TestREDDropSplitSumsToRefusals(t *testing.T) {
+	r := NewRED(2, 6, 10, 0.0008, rand.New(rand.NewSource(7)))
+	var refused int64
+	now := 0.0
+	// Phase 1: burst into a cold average — the physical cap, not RED,
+	// refuses the overflow (forced drops).
+	for i := 0; i < 30; i++ {
+		now += 0.0001
+		if !r.Enqueue(&Packet{Size: 1000}, now) {
+			refused++
+		}
+	}
+	// Phase 2: drain alongside arrivals with a fast-moving average, so
+	// the queue sits below the cap while the average crosses the
+	// thresholds — RED's early drops take over.
+	r.Weight = 0.5
+	for i := 0; i < 2000; i++ {
+		now += 0.0004
+		if !r.Enqueue(&Packet{Size: 1000}, now) {
+			refused++
+		}
+		r.Dequeue(now)
+	}
+	if r.EarlyDrops+r.ForcedDrops != refused {
+		t.Fatalf("early=%d + forced=%d != refused=%d",
+			r.EarlyDrops, r.ForcedDrops, refused)
+	}
+	if r.EarlyDrops == 0 || r.ForcedDrops == 0 {
+		t.Fatalf("scenario must exercise both drop regimes: early=%d forced=%d",
+			r.EarlyDrops, r.ForcedDrops)
+	}
+}

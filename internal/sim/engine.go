@@ -12,6 +12,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -24,18 +25,21 @@ type Timer struct {
 	at      Time
 	seq     uint64
 	fn      func()
+	eng     *Engine
 	stopped bool
 	index   int // position in the heap, -1 once fired or removed
 }
 
-// Stop cancels the timer. Stopping an already-fired or already-stopped
-// timer is a no-op. Stop reports whether the call prevented the event
-// from firing.
+// Stop cancels the timer and removes it from the engine's event heap, so
+// a cancelled timer costs no memory and no heap traversal. Stopping an
+// already-fired or already-stopped timer is a no-op. Stop reports whether
+// the call prevented the event from firing.
 func (t *Timer) Stop() bool {
 	if t == nil || t.stopped || t.index == -1 {
 		return false
 	}
 	t.stopped = true
+	heap.Remove(&t.eng.events, t.index)
 	return true
 }
 
@@ -45,6 +49,19 @@ func (t *Timer) Stopped() bool { return t == nil || t.stopped }
 // When returns the simulated time the timer is (or was) scheduled to fire.
 func (t *Timer) When() Time { return t.at }
 
+// AuditHook observes scheduler operation for invariant checking (see
+// internal/invariant). Both methods are called synchronously on the
+// simulation goroutine; implementations must not mutate the engine.
+type AuditHook interface {
+	// OnSchedule is called for every accepted At/After with the validated
+	// timestamp, before the event enters the heap.
+	OnSchedule(now, at Time)
+	// OnEvent is called immediately before an event executes. prev is the
+	// clock value before this event advanced it; at and seq identify the
+	// event popped from the heap.
+	OnEvent(prev, at Time, seq uint64)
+}
+
 // Engine is a discrete-event scheduler. Create one with New; the zero
 // value is not usable because it lacks an RNG.
 type Engine struct {
@@ -53,6 +70,7 @@ type Engine struct {
 	events eventHeap
 	rng    *rand.Rand
 	nsteps uint64
+	audit  AuditHook
 }
 
 // New returns an engine whose clock starts at zero and whose random
@@ -72,19 +90,34 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // benchmarking and for loop guards in tests.
 func (e *Engine) Steps() uint64 { return e.nsteps }
 
-// Pending returns the number of events currently scheduled, including
-// stopped timers that have not yet been discarded.
+// Pending returns the exact number of live (non-stopped, not yet fired)
+// timers. Stopped timers are removed from the heap immediately, so they
+// never inflate this count.
 func (e *Engine) Pending() int { return len(e.events) }
+
+// SetAudit installs h as the engine's audit hook; nil disables auditing.
+// The hook costs one nil check per scheduled and executed event when
+// disabled.
+func (e *Engine) SetAudit(h AuditHook) { e.audit = h }
 
 // At schedules fn to run at absolute simulated time t. Scheduling in the
 // past (t < Now) panics: it always indicates a model bug, and silently
-// clamping would corrupt causality.
+// clamping would corrupt causality. Non-finite times (NaN, ±Inf) panic on
+// the same path: NaN in particular compares false against everything, so
+// it would otherwise slip past the t < now guard and corrupt heap
+// ordering for every later event.
 func (e *Engine) At(t Time, fn func()) *Timer {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v (now %v)", t, e.now))
+	}
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
+	if e.audit != nil {
+		e.audit.OnSchedule(e.now, t)
+	}
 	e.seq++
-	tm := &Timer{at: t, seq: e.seq, fn: fn}
+	tm := &Timer{at: t, seq: e.seq, fn: fn, eng: e}
 	heap.Push(&e.events, tm)
 	return tm
 }
@@ -95,19 +128,21 @@ func (e *Engine) After(d Time, fn func()) *Timer {
 }
 
 // step executes the earliest pending event. It reports false when no
-// runnable events remain.
+// runnable events remain. Stopped timers are removed from the heap by
+// Stop itself, so every popped timer is live.
 func (e *Engine) step() bool {
-	for len(e.events) > 0 {
-		tm := heap.Pop(&e.events).(*Timer)
-		if tm.stopped {
-			continue
-		}
-		e.now = tm.at
-		e.nsteps++
-		tm.fn()
-		return true
+	if len(e.events) == 0 {
+		return false
 	}
-	return false
+	tm := heap.Pop(&e.events).(*Timer)
+	prev := e.now
+	e.now = tm.at
+	e.nsteps++
+	if e.audit != nil {
+		e.audit.OnEvent(prev, tm.at, tm.seq)
+	}
+	tm.fn()
+	return true
 }
 
 // Run executes events until none remain. Most scenarios instead use
@@ -122,15 +157,7 @@ func (e *Engine) Run() {
 // clock to exactly t. Events scheduled at t run; events after t stay
 // queued for a later call.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.events) > 0 {
-		next := e.events[0]
-		if next.stopped {
-			heap.Pop(&e.events)
-			continue
-		}
-		if next.at > t {
-			break
-		}
+	for len(e.events) > 0 && e.events[0].at <= t {
 		e.step()
 	}
 	if t > e.now {

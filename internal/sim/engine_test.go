@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -261,6 +262,81 @@ func TestPropertyStopSubset(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestStopRemovesTimerFromHeap is the regression test for the Stop
+// leak: stopped timers used to linger in the heap until their deadline
+// passed, so timer-heavy scenarios (flash crowds, per-packet retransmit
+// timers) grew the heap without bound and Pending() overcounted.
+func TestStopRemovesTimerFromHeap(t *testing.T) {
+	e := New(1)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		e.At(1e6, func() {}).Stop()
+	}
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d after stopping all %d timers, want 0 (heap leak)", got, n)
+	}
+	if len(e.events) != 0 {
+		t.Fatalf("heap holds %d entries after stopping all timers", len(e.events))
+	}
+}
+
+// TestPendingExactWithMixedStops interleaves live and stopped timers and
+// requires Pending() to count exactly the live ones, which must all
+// still fire in order.
+func TestPendingExactWithMixedStops(t *testing.T) {
+	e := New(1)
+	const n = 10000
+	live := 0
+	fired := 0
+	for i := 0; i < n; i++ {
+		tm := e.At(Time(i%97), func() { fired++ })
+		if i%3 == 0 {
+			tm.Stop()
+		} else {
+			live++
+		}
+	}
+	if got := e.Pending(); got != live {
+		t.Fatalf("Pending() = %d, want exactly %d live timers", got, live)
+	}
+	e.Run()
+	if fired != live {
+		t.Fatalf("%d timers fired, want %d", fired, live)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after Run, want 0", e.Pending())
+	}
+}
+
+// TestNonFiniteTimePanics is the regression test for the NaN hole: a
+// NaN timestamp compares false against everything, so it slipped past
+// the t < now guard and silently corrupted heap ordering for every
+// later event. Non-finite times must take the same panic path as
+// scheduling in the past.
+func TestNonFiniteTimePanics(t *testing.T) {
+	for _, bad := range []Time{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		bad := bad
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%v) did not panic", bad)
+				}
+			}()
+			New(1).At(bad, func() {})
+		}()
+	}
+	// A NaN duration (e.g. from a zero-RTT division upstream) must be
+	// rejected by After as well.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("After(NaN) did not panic")
+			}
+		}()
+		New(1).After(math.NaN(), func() {})
+	}()
 }
 
 func BenchmarkEngineTimerChurn(b *testing.B) {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"slowcc/internal/invariant"
 	"slowcc/internal/netem"
 	"slowcc/internal/sim"
 )
@@ -53,6 +54,12 @@ type Config struct {
 	// Seed seeds the RED generators (they draw from a dedicated RNG so
 	// endpoint randomness does not perturb queue randomness).
 	Seed int64
+	// Audit, when non-nil, registers every link the dumbbell creates
+	// (both bottlenecks and all per-flow access links) with the given
+	// invariant auditor, so packet conservation is checked at every
+	// accounting transition of the whole topology. Nil disables auditing
+	// at zero per-packet cost.
+	Audit *invariant.Auditor
 }
 
 func (c *Config) fill() {
@@ -152,6 +159,10 @@ func New(eng *sim.Engine, cfg Config) *Dumbbell {
 	}
 	d.LR = netem.NewLink(eng, cfg.Rate, cfg.Delay, mk(cfg.Seed+1), demux{d.demuxR})
 	d.RL = netem.NewLink(eng, cfg.Rate, cfg.Delay, mk(cfg.Seed+2), demux{d.demuxL})
+	if cfg.Audit != nil {
+		cfg.Audit.WatchLink("LR", d.LR)
+		cfg.Audit.WatchLink("RL", d.RL)
+	}
 	d.lrEntry = d.LR
 	if cfg.ForwardLoss != nil {
 		d.Filter = &netem.LossFilter{Pattern: cfg.ForwardLoss, Next: d.LR, Now: eng.Now}
@@ -198,6 +209,10 @@ func (d *Dumbbell) path(flow int, dst netem.Handler, bottleneck netem.Handler, t
 	// Ingress access link: source -> this link -> bottleneck.
 	in := netem.NewLink(d.Eng, d.Cfg.AccessRate, accessDelay,
 		netem.NewDropTail(1<<20), bottleneck)
+	if d.Cfg.Audit != nil {
+		d.Cfg.Audit.WatchLink(fmt.Sprintf("access-%d-out", flow), out)
+		d.Cfg.Audit.WatchLink(fmt.Sprintf("access-%d-in", flow), in)
+	}
 	return in
 }
 

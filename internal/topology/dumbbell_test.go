@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"slowcc/internal/invariant"
 	"slowcc/internal/netem"
 	"slowcc/internal/sim"
 )
@@ -225,5 +226,38 @@ func TestTinyLinkMinimumQueue(t *testing.T) {
 	eng.Run()
 	if len(sink.pkts) == 0 {
 		t.Fatal("tiny link delivered nothing; minimum queue too small")
+	}
+}
+
+// TestAuditWiresEveryLink builds an audited dumbbell, pushes traffic
+// through a full forward/reverse path, and checks that both bottlenecks
+// and the per-flow access links carry the auditor — and that a healthy
+// topology reports zero violations.
+func TestAuditWiresEveryLink(t *testing.T) {
+	eng := sim.New(1)
+	a := invariant.New(eng)
+	d := New(eng, Config{Rate: 1e6, Seed: 3, Audit: a})
+	if d.LR.Audit == nil || d.RL.Audit == nil {
+		t.Fatal("bottleneck links not registered with the auditor")
+	}
+	sink := &arrival{eng: eng}
+	in := d.PathLR(1, sink)
+	rin := d.PathRL(1, &arrival{eng: eng})
+	if l, ok := in.(*netem.Link); !ok || l.Audit == nil {
+		t.Fatal("ingress access link not registered with the auditor")
+	}
+	for i := int64(0); i < 50; i++ {
+		i := i
+		eng.At(float64(i)*0.001, func() {
+			in.Handle(&netem.Packet{Flow: 1, Kind: netem.Data, Seq: i, Size: 1000})
+			rin.Handle(&netem.Packet{Flow: 1, Kind: netem.Ack, Size: 40})
+		})
+	}
+	eng.Run()
+	if err := a.Err(); err != nil {
+		t.Fatalf("healthy dumbbell breached invariants: %v", err)
+	}
+	if len(sink.pkts) == 0 {
+		t.Fatal("no packets delivered")
 	}
 }
