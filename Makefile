@@ -1,14 +1,16 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench
+.PHONY: ci vet build test race bench bench-smoke bench-json
 
-# ci is the gate future PRs run: static checks, a full build, and the
-# complete test suite under the race detector. The exp package's
-# TestMain enables the invariant auditing layer for the whole
-# scaled-down figure suite, so packet-accounting regressions fail here
-# even when no figure-level assertion notices them; -race additionally
-# exercises parallelMap's worker pool.
-ci: vet build race
+# ci is the gate future PRs run: static checks, a full build, the
+# complete test suite under the race detector, and a single-iteration
+# run of the core macro-benchmark so the allocation-free hot path at
+# least executes on every change. The exp package's TestMain enables
+# the invariant auditing layer for the whole scaled-down figure suite,
+# so packet-accounting regressions fail here even when no figure-level
+# assertion notices them; -race additionally exercises parallelMap's
+# worker pool.
+ci: vet build race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -26,3 +28,15 @@ race:
 # numbers reflect the production configuration.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# bench-smoke runs just the core macro-benchmark once (seconds, not
+# minutes) — a ci step, not a measurement.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=EnginePacketsPerSecond -benchtime=1x .
+
+# bench-json measures the simulator core (engine, link, per-flow, and
+# the two-flow macro-benchmark), records the trajectory against the
+# pre-optimization baseline in BENCH_core.json, and fails if the
+# speedup/allocation gates regress.
+bench-json:
+	$(GO) run ./cmd/slowccbench -out BENCH_core.json

@@ -1,0 +1,231 @@
+// Command slowccbench records the simulator-core performance
+// trajectory. It runs the core micro- and macro-benchmarks
+// (engine event turnover, per-packet link forwarding, single-flow TCP
+// and TFRC steady state, and the two-flow BenchmarkEnginePacketsPerSecond
+// macro-benchmark), compares them against the recorded pre-optimization
+// baseline, and writes the whole record to a JSON file (default
+// BENCH_core.json). It exits non-zero if the optimization gates — the
+// minimum speedup and allocation drop on the macro-benchmark — are not
+// met, so `make bench-json` doubles as a performance regression check.
+//
+// Usage:
+//
+//	slowccbench [-out BENCH_core.json] [-count 3] [-benchtime 1x]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// baseline is the pre-optimization measurement, recorded at commit
+// 3e83804 (container/heap event queue, closure-per-event scheduling,
+// heap-allocated packets) with the same settings slowccbench uses:
+// -benchtime=1x -benchmem -count=3, minimum of the three runs, seed 1,
+// on go1.24 / Intel Xeon 2.10GHz. The `events` metric is identical
+// before and after by construction — the optimization is not allowed to
+// change simulated behavior — so ns/op and allocs/op are the trajectory.
+var baseline = record{
+	Commit: "3e83804",
+	Note: "pre-optimization: container/heap queue, per-event closures, heap-allocated packets; " +
+		"min of 3 runs at -benchtime=1x, seed 1",
+	Benchmarks: map[string]map[string]float64{
+		"EnginePacketsPerSecond": {
+			"ns/op":     181267997,
+			"events":    403989,
+			"B/op":      39237504,
+			"allocs/op": 938318,
+		},
+	},
+}
+
+type record struct {
+	Commit     string                        `json:"commit"`
+	Note       string                        `json:"note,omitempty"`
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+type report struct {
+	Schema     string  `json:"schema"`
+	GoVersion  string  `json:"go_version"`
+	NumCPU     int     `json:"num_cpu"`
+	Settings   string  `json:"settings"`
+	Baseline   record  `json:"baseline"`
+	Current    record  `json:"current"`
+	Gates      gates   `json:"gates"`
+	Trajectory outcome `json:"trajectory"`
+}
+
+type gates struct {
+	MinSpeedup    float64 `json:"min_speedup"`
+	MinAllocsDrop float64 `json:"min_allocs_drop"`
+}
+
+type outcome struct {
+	Benchmark  string  `json:"benchmark"`
+	Speedup    float64 `json:"speedup"`
+	AllocsDrop float64 `json:"allocs_drop"`
+	EventsSame bool    `json:"events_identical"`
+	Pass       bool    `json:"pass"`
+}
+
+// suites lists the benchmarks per package. Each layer of the core has
+// its own entry so a regression names its layer.
+var suites = []struct{ pkg, pattern string }{
+	{".", "EnginePacketsPerSecond|TCPFlowSimSecond|TFRCFlowSimSecond"},
+	{"./internal/sim", "EngineEventTurnover"},
+	{"./internal/netem", "LinkForward"},
+}
+
+// benchLine matches one `go test -bench` result row, e.g.
+// "BenchmarkLinkForward-8   1000   1042 ns/op   0 B/op   0 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.+)$`)
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_core.json", "output JSON file")
+		count     = flag.Int("count", 3, "runs per benchmark (minimum is recorded)")
+		benchtime = flag.String("benchtime", "1x", "go test -benchtime value")
+	)
+	flag.Parse()
+
+	cur := record{Commit: gitHead(), Benchmarks: map[string]map[string]float64{}}
+	for _, s := range suites {
+		fmt.Fprintf(os.Stderr, "bench %s (%s)\n", s.pkg, s.pattern)
+		if err := runSuite(s.pkg, s.pattern, *benchtime, *count, cur.Benchmarks); err != nil {
+			fmt.Fprintf(os.Stderr, "slowccbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	g := gates{MinSpeedup: 1.5, MinAllocsDrop: 0.60}
+	rep := report{
+		Schema:    "slowcc-bench-core/1",
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Settings:  fmt.Sprintf("-benchtime=%s -benchmem -count=%d (min recorded), seed 1", *benchtime, *count),
+		Baseline:  baseline,
+		Current:   cur,
+		Gates:     g,
+		Trajectory: trajectory(baseline.Benchmarks["EnginePacketsPerSecond"],
+			cur.Benchmarks["EnginePacketsPerSecond"], g),
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "slowccbench: %v\n", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "slowccbench: %v\n", err)
+		os.Exit(1)
+	}
+	t := rep.Trajectory
+	fmt.Printf("%s: speedup %.2fx (gate %.1fx), allocs drop %.2f%% (gate %.0f%%), events identical: %v -> %s\n",
+		t.Benchmark, t.Speedup, g.MinSpeedup, t.AllocsDrop*100, g.MinAllocsDrop*100, t.EventsSame, *out)
+	if !t.Pass {
+		fmt.Fprintln(os.Stderr, "slowccbench: optimization gates NOT met")
+		os.Exit(1)
+	}
+}
+
+func trajectory(base, cur map[string]float64, g gates) outcome {
+	o := outcome{Benchmark: "EnginePacketsPerSecond"}
+	if base == nil || cur == nil || cur["ns/op"] == 0 || base["allocs/op"] == 0 {
+		return o
+	}
+	o.Speedup = base["ns/op"] / cur["ns/op"]
+	o.AllocsDrop = 1 - cur["allocs/op"]/base["allocs/op"]
+	o.EventsSame = base["events"] == cur["events"]
+	o.Pass = o.Speedup >= g.MinSpeedup && o.AllocsDrop >= g.MinAllocsDrop && o.EventsSame
+	return o
+}
+
+// runSuite executes one `go test -bench` invocation and folds its rows
+// into dst, keeping per-metric minima across -count runs (except
+// throughput metrics, where the maximum is the stable figure, and event
+// counts, which must not vary at all).
+func runSuite(pkg, pattern, benchtime string, count int, dst map[string]map[string]float64) error {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", pattern, "-benchtime", benchtime, "-benchmem",
+		"-count", strconv.Itoa(count), pkg)
+	outBytes, err := cmd.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("%s: %v\n%s", pkg, err, outBytes)
+	}
+	found := false
+	for _, line := range strings.Split(string(outBytes), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		metrics := parseMetrics(m[2])
+		if len(metrics) == 0 {
+			continue
+		}
+		found = true
+		fold(dst, name, metrics)
+	}
+	if !found {
+		return fmt.Errorf("%s: no benchmark rows matched %q in output:\n%s", pkg, pattern, outBytes)
+	}
+	return nil
+}
+
+// parseMetrics reads the "value unit value unit ..." tail of a bench row.
+func parseMetrics(tail string) map[string]float64 {
+	fields := strings.Fields(tail)
+	out := map[string]float64{}
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		out[fields[i+1]] = v
+	}
+	return out
+}
+
+func fold(dst map[string]map[string]float64, name string, metrics map[string]float64) {
+	cur, ok := dst[name]
+	if !ok {
+		dst[name] = metrics
+		return
+	}
+	for k, v := range metrics {
+		prev, seen := cur[k]
+		switch {
+		case !seen:
+			cur[k] = v
+		case strings.HasSuffix(k, "/s"): // throughput: keep the best run
+			if v > prev {
+				cur[k] = v
+			}
+		default: // costs and counts: keep the minimum
+			if v < prev {
+				cur[k] = v
+			}
+		}
+	}
+}
+
+func gitHead() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	head := strings.TrimSpace(string(out))
+	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(st) > 0 {
+		head += "-dirty"
+	}
+	return head
+}

@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -59,13 +61,43 @@ func experiments() []experiment {
 
 func main() {
 	var (
-		name   = flag.String("exp", "", "experiment to run (see -list), or 'all'")
-		list   = flag.Bool("list", false, "list experiments")
-		full   = flag.Bool("full", false, "use the paper's full durations and sweeps")
-		seed   = flag.Int64("seed", 1, "simulation seed")
-		asJSON = flag.Bool("json", false, "emit typed results as JSON instead of tables")
+		name       = flag.String("exp", "", "experiment to run (see -list), or 'all'")
+		list       = flag.Bool("list", false, "list experiments")
+		full       = flag.Bool("full", false, "use the paper's full durations and sweeps")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		asJSON     = flag.Bool("json", false, "emit typed results as JSON instead of tables")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the heap profile is stable
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	exps := experiments()
 	if *list || *name == "" {

@@ -158,10 +158,14 @@ type Source struct {
 	PktSize int
 	// Sched modulates the rate (default Always).
 	Sched Schedule
+	// Pool recycles data packets; nil falls back to per-packet heap
+	// allocation.
+	Pool *netem.PacketPool
 
 	st      cc.SenderStats
 	running bool
 	timer   *sim.Timer
+	tickFn  func()
 	seq     int64
 	credit  float64 // accrued transmission allowance, in bits
 	lastT   sim.Time
@@ -172,8 +176,10 @@ func NewSource(eng *sim.Engine, out netem.Handler, flow int, peakRate float64, s
 	if sched == nil {
 		sched = Always{}
 	}
-	return &Source{Eng: eng, Out: out, Flow: flow, PeakRate: peakRate,
+	s := &Source{Eng: eng, Out: out, Flow: flow, PeakRate: peakRate,
 		PktSize: cc.DefaultPktSize, Sched: sched}
+	s.tickFn = s.tick
+	return s
 }
 
 // Stats implements cc.Sender.
@@ -199,8 +205,9 @@ func (s *Source) Stop() {
 	}
 }
 
-// Handle implements netem.Handler; CBR ignores any incoming packets.
-func (s *Source) Handle(*netem.Packet) {}
+// Handle implements netem.Handler; CBR ignores (and releases) any
+// incoming packets.
+func (s *Source) Handle(p *netem.Packet) { s.Pool.Put(p) }
 
 // tick accrues sending credit from the schedule's rate integral, emits
 // any packets the credit covers, and sleeps until either the next packet
@@ -239,13 +246,13 @@ func (s *Source) tick() {
 		}
 		s.st.PktsSent++
 		s.st.BytesSent += int64(s.PktSize)
-		s.Out.Handle(&netem.Packet{
-			Flow:   s.Flow,
-			Kind:   netem.Data,
-			Seq:    s.seq,
-			Size:   s.PktSize,
-			SentAt: now,
-		})
+		p := s.Pool.Get()
+		p.Flow = s.Flow
+		p.Kind = netem.Data
+		p.Seq = s.seq
+		p.Size = s.PktSize
+		p.SentAt = now
+		s.Out.Handle(p)
 		s.seq++
 	}
 
@@ -267,5 +274,5 @@ func (s *Source) tick() {
 		}
 		wake = change + 1e-9
 	}
-	s.timer = s.Eng.At(wake, s.tick)
+	s.timer = s.Eng.ResetAt(s.timer, wake, s.tickFn)
 }

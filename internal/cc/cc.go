@@ -68,6 +68,9 @@ type AckReceiver struct {
 	// TCPs do not delay ACKs, so this is off by default (it exists for
 	// the delayed-ACK ablation).
 	DelayedAcks bool
+	// Pool recycles consumed data packets and supplies ACK packets; nil
+	// falls back to per-packet heap allocation.
+	Pool *netem.PacketPool
 
 	R ReceiverStats
 
@@ -75,19 +78,29 @@ type AckReceiver struct {
 	ooo     map[int64]bool
 	pending int // data packets not yet acknowledged (delayed-ACK mode)
 	delayT  *sim.Timer
-	lastPkt *netem.Packet // most recent data packet (for echo fields)
-	ceSeen  bool          // unechoed congestion-experienced mark
+	emitFn  func()
+	// Echo fields copied from the most recent data packet. Copies, not a
+	// retained pointer: the packet is released back to the pool before
+	// Handle returns, so holding it would read recycled memory.
+	lastSeq    int64
+	lastSentAt sim.Time
+	haveLast   bool
+	ceSeen     bool // unechoed congestion-experienced mark
 }
 
 // NewAckReceiver returns a receiver for the given flow sending ACKs
 // into out.
 func NewAckReceiver(eng *sim.Engine, flow int, out netem.Handler) *AckReceiver {
-	return &AckReceiver{Eng: eng, Out: out, Flow: flow, ooo: make(map[int64]bool)}
+	r := &AckReceiver{Eng: eng, Out: out, Flow: flow, ooo: make(map[int64]bool)}
+	r.emitFn = r.emitAck
+	return r
 }
 
-// Handle implements netem.Handler for incoming data packets.
+// Handle implements netem.Handler for incoming data packets. The
+// receiver is the packet's final owner and releases it before returning.
 func (r *AckReceiver) Handle(p *netem.Packet) {
 	if p.Kind != netem.Data {
+		r.Pool.Put(p)
 		return
 	}
 	r.R.PktsRecv++
@@ -113,7 +126,11 @@ func (r *AckReceiver) Handle(p *netem.Packet) {
 	if p.CE {
 		r.ceSeen = true
 	}
-	r.lastPkt = p
+	r.lastSeq = p.Seq
+	r.lastSentAt = p.SentAt
+	r.haveLast = true
+	seq := p.Seq
+	r.Pool.Put(p)
 	if !r.DelayedAcks {
 		r.emitAck()
 		return
@@ -122,18 +139,18 @@ func (r *AckReceiver) Handle(p *netem.Packet) {
 	// out-of-order arrivals (fast retransmit depends on prompt dupacks),
 	// or when the flush timer fires.
 	r.pending++
-	if r.pending >= 2 || p.Seq != r.next-1 || r.ceSeen {
+	if r.pending >= 2 || seq != r.next-1 || r.ceSeen {
 		r.emitAck()
 		return
 	}
 	if r.delayT == nil || r.delayT.Stopped() {
-		r.delayT = r.Eng.After(0.1, r.emitAck)
+		r.delayT = r.Eng.ResetAfter(r.delayT, 0.1, r.emitFn)
 	}
 }
 
 // emitAck sends a cumulative acknowledgment for the current state.
 func (r *AckReceiver) emitAck() {
-	if r.lastPkt == nil {
+	if !r.haveLast {
 		return
 	}
 	if r.delayT != nil {
@@ -144,16 +161,16 @@ func (r *AckReceiver) emitAck() {
 	if size == 0 {
 		size = DefaultAckSize
 	}
-	r.Out.Handle(&netem.Packet{
-		Flow:    r.Flow,
-		Kind:    netem.Ack,
-		Size:    size,
-		SentAt:  r.Eng.Now(),
-		CumAck:  r.next,
-		AckSeq:  r.lastPkt.Seq,
-		Echo:    r.lastPkt.SentAt,
-		ECNEcho: r.ceSeen,
-	})
+	ack := r.Pool.Get()
+	ack.Flow = r.Flow
+	ack.Kind = netem.Ack
+	ack.Size = size
+	ack.SentAt = r.Eng.Now()
+	ack.CumAck = r.next
+	ack.AckSeq = r.lastSeq
+	ack.Echo = r.lastSentAt
+	ack.ECNEcho = r.ceSeen
+	r.Out.Handle(ack)
 	r.ceSeen = false
 }
 

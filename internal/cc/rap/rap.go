@@ -55,7 +55,10 @@ func (c *Config) fill() {
 type Sender struct {
 	Eng *sim.Engine
 	Out netem.Handler
-	cfg Config
+	// Pool recycles data packets and consumed ACKs; nil falls back to
+	// per-packet heap allocation.
+	Pool *netem.PacketPool
+	cfg  Config
 
 	st cc.SenderStats
 
@@ -71,12 +74,17 @@ type Sender struct {
 	running   bool
 	sendTimer *sim.Timer
 	updTimer  *sim.Timer
+	sendFn    func()
+	updFn     func()
 }
 
 // NewSender returns a RAP sender transmitting into out.
 func NewSender(eng *sim.Engine, out netem.Handler, cfg Config) *Sender {
 	cfg.fill()
-	return &Sender{Eng: eng, Out: out, cfg: cfg, lastAck: -1}
+	s := &Sender{Eng: eng, Out: out, cfg: cfg, lastAck: -1}
+	s.sendFn = s.sendLoop
+	s.updFn = s.update
+	return s
 }
 
 // Stats implements cc.Sender.
@@ -129,22 +137,22 @@ func (s *Sender) sendLoop() {
 	}
 	s.st.PktsSent++
 	s.st.BytesSent += int64(s.cfg.PktSize)
-	s.Out.Handle(&netem.Packet{
-		Flow:      s.cfg.Flow,
-		Kind:      netem.Data,
-		Seq:       s.seq,
-		Size:      s.cfg.PktSize,
-		SentAt:    s.Eng.Now(),
-		SenderRTT: s.rtt(),
-	})
+	p := s.Pool.Get()
+	p.Flow = s.cfg.Flow
+	p.Kind = netem.Data
+	p.Seq = s.seq
+	p.Size = s.cfg.PktSize
+	p.SentAt = s.Eng.Now()
+	p.SenderRTT = s.rtt()
+	s.Out.Handle(p)
 	s.seq++
 	gap := s.rtt() / math.Max(s.w, 1e-6)
-	s.sendTimer = s.Eng.After(gap, s.sendLoop)
+	s.sendTimer = s.Eng.ResetAfter(s.sendTimer, gap, s.sendFn)
 }
 
 // scheduleUpdate arms the once-per-RTT rate-update tick.
 func (s *Sender) scheduleUpdate() {
-	s.updTimer = s.Eng.After(s.rtt(), s.update)
+	s.updTimer = s.Eng.ResetAfter(s.updTimer, s.rtt(), s.updFn)
 }
 
 // update applies the additive increase (or the starvation decrease when
@@ -179,6 +187,7 @@ func (s *Sender) decrease(now sim.Time) {
 // sequence reveals a loss; at most one rate decrease is taken per RTT.
 func (s *Sender) Handle(p *netem.Packet) {
 	if p.Kind != netem.Ack || !s.running {
+		s.Pool.Put(p)
 		return
 	}
 	now := s.Eng.Now()
@@ -197,4 +206,5 @@ func (s *Sender) Handle(p *netem.Packet) {
 	if p.AckSeq > s.lastAck {
 		s.lastAck = p.AckSeq
 	}
+	s.Pool.Put(p)
 }

@@ -100,7 +100,10 @@ func (c *Config) fill() {
 type Sender struct {
 	Eng *sim.Engine
 	Out netem.Handler
-	cfg Config
+	// Pool recycles data packets and consumed ACKs; nil falls back to
+	// per-packet heap allocation.
+	Pool *netem.PacketPool
+	cfg  Config
 
 	st cc.SenderStats
 
@@ -125,6 +128,7 @@ type Sender struct {
 	hasRTT       bool
 	backoff      float64
 	rtoTimer     *sim.Timer
+	timeoutFn    func()
 	ecnHold      sim.Time // no further ECN decrease before this time
 
 	running bool
@@ -135,6 +139,7 @@ type Sender struct {
 func NewSender(eng *sim.Engine, out netem.Handler, cfg Config) *Sender {
 	cfg.fill()
 	s := &Sender{Eng: eng, Out: out, cfg: cfg, backoff: 1}
+	s.timeoutFn = s.onTimeout
 	if cfg.SACK {
 		s.sacked = make(map[int64]bool)
 	}
@@ -227,16 +232,16 @@ func (s *Sender) transmit(seq int64, rtx bool) {
 	if rtx {
 		s.st.Rtx++
 	}
-	s.Out.Handle(&netem.Packet{
-		Flow:      s.cfg.Flow,
-		Kind:      netem.Data,
-		Seq:       seq,
-		Size:      s.cfg.PktSize,
-		SentAt:    s.Eng.Now(),
-		SenderRTT: s.srtt,
-		ECT:       s.cfg.ECN,
-	})
-	if s.rtoTimer == nil || s.rtoTimer.Stopped() {
+	p := s.Pool.Get()
+	p.Flow = s.cfg.Flow
+	p.Kind = netem.Data
+	p.Seq = seq
+	p.Size = s.cfg.PktSize
+	p.SentAt = s.Eng.Now()
+	p.SenderRTT = s.srtt
+	p.ECT = s.cfg.ECN
+	s.Out.Handle(p)
+	if !s.rtoTimer.Pending() {
 		s.armTimer()
 	}
 }
@@ -261,19 +266,18 @@ func (s *Sender) rto() sim.Time {
 }
 
 func (s *Sender) armTimer() {
-	s.stopTimer()
-	s.rtoTimer = s.Eng.After(s.rto(), s.onTimeout)
+	// ResetAfter reuses the one handle this sender owns: removing a
+	// still-pending timer and rescheduling consumes exactly one sequence
+	// number, the same as the old Stop-then-After, so event ordering is
+	// unchanged while the steady state allocates no timers.
+	s.rtoTimer = s.Eng.ResetAfter(s.rtoTimer, s.rto(), s.timeoutFn)
 }
 
 func (s *Sender) stopTimer() {
-	if s.rtoTimer != nil {
-		s.rtoTimer.Stop()
-		s.rtoTimer = nil
-	}
+	s.rtoTimer.Stop()
 }
 
 func (s *Sender) onTimeout() {
-	s.rtoTimer = nil
 	if !s.running || s.done {
 		return
 	}
@@ -300,9 +304,11 @@ func (s *Sender) onTimeout() {
 	s.armTimer()
 }
 
-// Handle implements netem.Handler for returning ACKs.
+// Handle implements netem.Handler for returning ACKs. The sender is the
+// ACK's final owner and releases it before returning.
 func (s *Sender) Handle(p *netem.Packet) {
 	if p.Kind != netem.Ack || !s.running || s.done {
+		s.Pool.Put(p)
 		return
 	}
 	// RTT sample: Echo is the transmit time of the specific packet this
@@ -329,6 +335,7 @@ func (s *Sender) Handle(p *netem.Packet) {
 		s.onDupAck()
 	}
 	s.trySend()
+	s.Pool.Put(p)
 }
 
 func (s *Sender) sampleRTT(m sim.Time) {

@@ -31,6 +31,9 @@ type Receiver struct {
 	// FeedbackSize is the wire size of rate reports (default
 	// cc.DefaultAckSize).
 	FeedbackSize int
+	// Pool recycles consumed data packets and supplies feedback packets;
+	// nil falls back to per-packet heap allocation.
+	Pool *netem.PacketPool
 
 	R cc.ReceiverStats
 
@@ -47,11 +50,12 @@ type Receiver struct {
 	pktSize     int
 
 	fbTimer *sim.Timer
+	fbFn    func()
 }
 
 // NewReceiver returns a TEAR receiver reporting into out.
 func NewReceiver(eng *sim.Engine, flow int, out netem.Handler) *Receiver {
-	return &Receiver{
+	r := &Receiver{
 		Eng:  eng,
 		Out:  out,
 		Flow: flow, Alpha: 0.1,
@@ -60,6 +64,8 @@ func NewReceiver(eng *sim.Engine, flow int, out netem.Handler) *Receiver {
 		lastEventAt: math.Inf(-1),
 		pktSize:     cc.DefaultPktSize,
 	}
+	r.fbFn = r.onFeedbackTimer
+	return r
 }
 
 // Stats returns the receiver counters.
@@ -88,9 +94,11 @@ func (r *Receiver) currentRTT() sim.Time {
 	return 0.05
 }
 
-// Handle implements netem.Handler for arriving data packets.
+// Handle implements netem.Handler for arriving data packets. The
+// receiver is the packet's final owner and releases it before returning.
 func (r *Receiver) Handle(p *netem.Packet) {
 	if p.Kind != netem.Data {
+		r.Pool.Put(p)
 		return
 	}
 	now := r.Eng.Now()
@@ -100,20 +108,22 @@ func (r *Receiver) Handle(p *netem.Packet) {
 		r.rtt = p.SenderRTT
 	}
 	r.pktSize = p.Size
+	seq, size := p.Seq, p.Size
+	r.Pool.Put(p)
 
 	if !r.gotAny {
 		r.gotAny = true
-		r.maxSeq = p.Seq
-		r.R.UniqueBytes += int64(p.Size)
+		r.maxSeq = seq
+		r.R.UniqueBytes += int64(size)
 		r.scheduleFeedback()
 		return
 	}
-	if p.Seq <= r.maxSeq {
+	if seq <= r.maxSeq {
 		return
 	}
-	lost := p.Seq - r.maxSeq - 1
-	r.maxSeq = p.Seq
-	r.R.UniqueBytes += int64(p.Size)
+	lost := seq - r.maxSeq - 1
+	r.maxSeq = seq
+	r.R.UniqueBytes += int64(size)
 
 	if lost > 0 && now-r.lastEventAt > r.currentRTT() {
 		// Loss event: the emulated TCP halves, at most once per RTT.
@@ -149,10 +159,13 @@ func (r *Receiver) fold() {
 }
 
 func (r *Receiver) scheduleFeedback() {
-	r.fbTimer = r.Eng.After(r.currentRTT(), func() {
-		r.sendFeedback()
-		r.scheduleFeedback()
-	})
+	r.fbTimer = r.Eng.ResetAfter(r.fbTimer, r.currentRTT(), r.fbFn)
+}
+
+// onFeedbackTimer is the periodic rate-report tick.
+func (r *Receiver) onFeedbackTimer() {
+	r.sendFeedback()
+	r.scheduleFeedback()
 }
 
 // sendFeedback reports the smoothed rate once per RTT.
@@ -161,14 +174,16 @@ func (r *Receiver) sendFeedback() {
 	if size == 0 {
 		size = cc.DefaultAckSize
 	}
-	r.Out.Handle(&netem.Packet{
-		Flow:   r.Flow,
-		Kind:   netem.Feedback,
-		Size:   size,
-		SentAt: r.Eng.Now(),
-		Echo:   r.Eng.Now(), // TEAR feedback does not echo data stamps
-		FB:     &netem.TFRCFeedback{RecvRate: r.Rate()},
-	})
+	fb := r.Pool.NewFeedback()
+	fb.RecvRate = r.Rate()
+	p := r.Pool.Get()
+	p.Flow = r.Flow
+	p.Kind = netem.Feedback
+	p.Size = size
+	p.SentAt = r.Eng.Now()
+	p.Echo = r.Eng.Now() // TEAR feedback does not echo data stamps
+	p.FB = fb
+	r.Out.Handle(p)
 }
 
 // Sender is the trivial TEAR sender: it paces packets at the rate the
@@ -180,19 +195,25 @@ type Sender struct {
 	Flow int
 	// PktSize is the data packet size (default cc.DefaultPktSize).
 	PktSize int
+	// Pool recycles data packets and consumed feedback; nil falls back
+	// to per-packet heap allocation.
+	Pool *netem.PacketPool
 
 	st      cc.SenderStats
 	rate    float64
 	seq     int64
 	running bool
 	timer   *sim.Timer
+	loopFn  func()
 	srtt    sim.Time
 	lastFB  sim.Time
 }
 
 // NewSender returns a TEAR sender transmitting into out.
 func NewSender(eng *sim.Engine, out netem.Handler, flow int) *Sender {
-	return &Sender{Eng: eng, Out: out, Flow: flow, PktSize: cc.DefaultPktSize}
+	s := &Sender{Eng: eng, Out: out, Flow: flow, PktSize: cc.DefaultPktSize}
+	s.loopFn = s.loop
+	return s
 }
 
 // Stats implements cc.Sender.
@@ -233,17 +254,17 @@ func (s *Sender) loop() {
 	}
 	s.st.PktsSent++
 	s.st.BytesSent += int64(s.PktSize)
-	s.Out.Handle(&netem.Packet{
-		Flow:      s.Flow,
-		Kind:      netem.Data,
-		Seq:       s.seq,
-		Size:      s.PktSize,
-		SentAt:    now,
-		SenderRTT: s.srttOrDefault(),
-	})
+	p := s.Pool.Get()
+	p.Flow = s.Flow
+	p.Kind = netem.Data
+	p.Seq = s.seq
+	p.Size = s.PktSize
+	p.SentAt = now
+	p.SenderRTT = s.srttOrDefault()
+	s.Out.Handle(p)
 	s.seq++
 	gap := float64(s.PktSize) / math.Max(s.rate, 1e-3)
-	s.timer = s.Eng.After(gap, s.loop)
+	s.timer = s.Eng.ResetAfter(s.timer, gap, s.loopFn)
 }
 
 func (s *Sender) srttOrDefault() sim.Time {
@@ -253,9 +274,11 @@ func (s *Sender) srttOrDefault() sim.Time {
 	return 0.05
 }
 
-// Handle implements netem.Handler for receiver rate reports.
+// Handle implements netem.Handler for receiver rate reports. The sender
+// is the report's final owner and releases it before returning.
 func (s *Sender) Handle(p *netem.Packet) {
 	if p.Kind != netem.Feedback || p.FB == nil || !s.running {
+		s.Pool.Put(p)
 		return
 	}
 	s.lastFB = s.Eng.Now()
@@ -271,4 +294,5 @@ func (s *Sender) Handle(p *netem.Packet) {
 	if p.FB.RecvRate > 0 {
 		s.rate = math.Max(p.FB.RecvRate, float64(s.PktSize)/64)
 	}
+	s.Pool.Put(p)
 }

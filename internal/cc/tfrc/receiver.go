@@ -57,10 +57,14 @@ type Receiver struct {
 	// FeedbackSize is the wire size of feedback packets (default
 	// cc.DefaultAckSize).
 	FeedbackSize int
+	// Pool recycles consumed data packets and supplies feedback packets;
+	// nil falls back to per-packet heap allocation.
+	Pool *netem.PacketPool
 
 	R cc.ReceiverStats
 
 	weights []float64
+	fbFn    func()
 
 	maxSeq        int64 // highest sequence seen
 	gotAny        bool
@@ -85,7 +89,7 @@ func NewReceiver(eng *sim.Engine, flow int, out netem.Handler, k int) *Receiver 
 	if k <= 0 {
 		k = 8
 	}
-	return &Receiver{
+	r := &Receiver{
 		Eng:          eng,
 		Out:          out,
 		Flow:         flow,
@@ -93,6 +97,8 @@ func NewReceiver(eng *sim.Engine, flow int, out netem.Handler, k int) *Receiver 
 		weights:      Weights(k),
 		maxSeq:       -1,
 	}
+	r.fbFn = r.onFeedbackTimer
+	return r
 }
 
 // Stats returns the receiver's counters.
@@ -116,9 +122,11 @@ func (r *Receiver) currentRTT() sim.Time {
 	return 0.05
 }
 
-// Handle implements netem.Handler for incoming data packets.
+// Handle implements netem.Handler for incoming data packets. The
+// receiver is the packet's final owner and releases it before returning.
 func (r *Receiver) Handle(p *netem.Packet) {
 	if p.Kind != netem.Data {
+		r.Pool.Put(p)
 		return
 	}
 	now := r.Eng.Now()
@@ -130,23 +138,25 @@ func (r *Receiver) Handle(p *netem.Packet) {
 	}
 	r.lastPktSent = p.SentAt
 	r.lastPktSize = p.Size
+	seq, size := p.Seq, p.Size
+	r.Pool.Put(p)
 
 	if !r.gotAny {
 		r.gotAny = true
-		r.maxSeq = p.Seq
-		r.R.UniqueBytes += int64(p.Size)
+		r.maxSeq = seq
+		r.R.UniqueBytes += int64(size)
 		r.lastFBTime = now
 		r.scheduleFeedback()
 		return
 	}
-	if p.Seq <= r.maxSeq {
+	if seq <= r.maxSeq {
 		return // duplicate or reordered; TFRC senders do not retransmit
 	}
-	if gap := p.Seq - r.maxSeq - 1; gap > 0 {
+	if gap := seq - r.maxSeq - 1; gap > 0 {
 		r.onLoss(r.maxSeq+1, now)
 	}
-	r.R.UniqueBytes += int64(p.Size)
-	r.maxSeq = p.Seq
+	r.R.UniqueBytes += int64(size)
+	r.maxSeq = seq
 }
 
 // onLoss registers that packet firstLost went missing at time now,
@@ -265,16 +275,18 @@ func (r *Receiver) recvRateNow(now sim.Time) float64 {
 }
 
 func (r *Receiver) scheduleFeedback() {
-	r.fbTimer = r.Eng.After(r.currentRTT(), func() {
-		// Per the specification, the feedback timer only produces a
-		// report when data arrived since the previous one. Reporting a
-		// zero receive rate for an empty window would let the sender's
-		// min(X_calc, 2*X_recv) cap pin the rate at the floor forever.
-		if r.fbBytes > 0 {
-			r.sendFeedback()
-		}
-		r.scheduleFeedback()
-	})
+	r.fbTimer = r.Eng.ResetAfter(r.fbTimer, r.currentRTT(), r.fbFn)
+}
+
+// onFeedbackTimer is the periodic feedback tick. Per the specification,
+// the timer only produces a report when data arrived since the previous
+// one: reporting a zero receive rate for an empty window would let the
+// sender's min(X_calc, 2*X_recv) cap pin the rate at the floor forever.
+func (r *Receiver) onFeedbackTimer() {
+	if r.fbBytes > 0 {
+		r.sendFeedback()
+	}
+	r.scheduleFeedback()
 }
 
 // sendFeedback emits one feedback packet and resets the measurement
@@ -289,18 +301,18 @@ func (r *Receiver) sendFeedback() {
 	if size == 0 {
 		size = cc.DefaultAckSize
 	}
-	r.Out.Handle(&netem.Packet{
-		Flow:   r.Flow,
-		Kind:   netem.Feedback,
-		Size:   size,
-		SentAt: now,
-		Echo:   r.lastPktSent,
-		FB: &netem.TFRCFeedback{
-			LossEventRate: r.LossEventRate(),
-			RecvRate:      r.lastRecvRate,
-			LossSeen:      r.lossSinceFB,
-		},
-	})
+	fb := r.Pool.NewFeedback()
+	fb.LossEventRate = r.LossEventRate()
+	fb.RecvRate = r.lastRecvRate
+	fb.LossSeen = r.lossSinceFB
+	pkt := r.Pool.Get()
+	pkt.Flow = r.Flow
+	pkt.Kind = netem.Feedback
+	pkt.Size = size
+	pkt.SentAt = now
+	pkt.Echo = r.lastPktSent
+	pkt.FB = fb
+	r.Out.Handle(pkt)
 	r.lossSinceFB = false
 	r.fbBytes = 0
 	r.lastFBTime = now

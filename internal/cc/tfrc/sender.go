@@ -49,7 +49,10 @@ func (c *Config) fill() {
 type Sender struct {
 	Eng *sim.Engine
 	Out netem.Handler
-	cfg Config
+	// Pool recycles data packets and consumed feedback; nil falls back
+	// to per-packet heap allocation.
+	Pool *netem.PacketPool
+	cfg  Config
 
 	st cc.SenderStats
 
@@ -61,13 +64,18 @@ type Sender struct {
 	running  bool
 	sendT    *sim.Timer
 	nfT      *sim.Timer // no-feedback timer
-	lastRecv float64    // most recent reported receive rate
+	sendFn   func()
+	nfFn     func()
+	lastRecv float64 // most recent reported receive rate
 }
 
 // NewSender returns a TFRC sender transmitting into out.
 func NewSender(eng *sim.Engine, out netem.Handler, cfg Config) *Sender {
 	cfg.fill()
-	return &Sender{Eng: eng, Out: out, cfg: cfg}
+	s := &Sender{Eng: eng, Out: out, cfg: cfg}
+	s.sendFn = s.sendLoop
+	s.nfFn = s.onNoFeedback
+	return s
 }
 
 // Stats implements cc.Sender.
@@ -117,27 +125,24 @@ func (s *Sender) sendLoop() {
 	}
 	s.st.PktsSent++
 	s.st.BytesSent += int64(s.cfg.PktSize)
-	s.Out.Handle(&netem.Packet{
-		Flow:      s.cfg.Flow,
-		Kind:      netem.Data,
-		Seq:       s.seq,
-		Size:      s.cfg.PktSize,
-		SentAt:    s.Eng.Now(),
-		SenderRTT: s.SRTT(),
-	})
+	p := s.Pool.Get()
+	p.Flow = s.cfg.Flow
+	p.Kind = netem.Data
+	p.Seq = s.seq
+	p.Size = s.cfg.PktSize
+	p.SentAt = s.Eng.Now()
+	p.SenderRTT = s.SRTT()
+	s.Out.Handle(p)
 	s.seq++
 	gap := float64(s.cfg.PktSize) / math.Max(s.x, 1e-3)
-	s.sendT = s.Eng.After(gap, s.sendLoop)
+	s.sendT = s.Eng.ResetAfter(s.sendT, gap, s.sendFn)
 }
 
 func (s *Sender) minRate() float64 { return float64(s.cfg.PktSize) / tMBI }
 
 func (s *Sender) armNoFeedback() {
-	if s.nfT != nil {
-		s.nfT.Stop()
-	}
 	d := math.Max(4*float64(s.SRTT()), 2*float64(s.cfg.PktSize)/math.Max(s.x, 1e-3))
-	s.nfT = s.Eng.After(d, s.onNoFeedback)
+	s.nfT = s.Eng.ResetAfter(s.nfT, d, s.nfFn)
 }
 
 // onNoFeedback halves the rate when the feedback stream dries up
@@ -151,9 +156,11 @@ func (s *Sender) onNoFeedback() {
 	s.armNoFeedback()
 }
 
-// Handle implements netem.Handler for receiver feedback.
+// Handle implements netem.Handler for receiver feedback. The sender is
+// the feedback packet's final owner and releases it before returning.
 func (s *Sender) Handle(p *netem.Packet) {
 	if p.Kind != netem.Feedback || p.FB == nil || !s.running {
+		s.Pool.Put(p)
 		return
 	}
 	now := s.Eng.Now()
@@ -204,4 +211,5 @@ func (s *Sender) Handle(p *netem.Packet) {
 		s.x = s.minRate()
 	}
 	s.armNoFeedback()
+	s.Pool.Put(p)
 }

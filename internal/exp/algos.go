@@ -21,6 +21,7 @@ func TCPAlgo(b float64) AlgoSpec {
 		Make: func(eng *sim.Engine, d *topology.Dumbbell, flow int) Flow {
 			rcv := cc.NewAckReceiver(eng, flow, nil)
 			snd := tcp.NewSender(eng, nil, tcp.Config{Flow: flow, Policy: tcp.NewAIMD(b)})
+			snd.Pool, rcv.Pool = d.Pool, d.Pool
 			snd.Out = d.PathLR(flow, rcv)
 			rcv.Out = d.PathRL(flow, snd)
 			return Flow{
@@ -49,6 +50,7 @@ func binomialAlgo(name string, pol binomial.Policy) AlgoSpec {
 		Make: func(eng *sim.Engine, d *topology.Dumbbell, flow int) Flow {
 			rcv := cc.NewAckReceiver(eng, flow, nil)
 			snd := tcp.NewSender(eng, nil, tcp.Config{Flow: flow, Policy: pol})
+			snd.Pool, rcv.Pool = d.Pool, d.Pool
 			snd.Out = d.PathLR(flow, rcv)
 			rcv.Out = d.PathRL(flow, snd)
 			return Flow{
@@ -67,6 +69,7 @@ func RAPAlgo(b float64) AlgoSpec {
 		Make: func(eng *sim.Engine, d *topology.Dumbbell, flow int) Flow {
 			rcv := cc.NewAckReceiver(eng, flow, nil)
 			snd := rap.NewSender(eng, nil, rap.Config{Flow: flow, B: b})
+			snd.Pool, rcv.Pool = d.Pool, d.Pool
 			snd.Out = d.PathLR(flow, rcv)
 			rcv.Out = d.PathRL(flow, snd)
 			return Flow{
@@ -100,6 +103,7 @@ func TFRCAlgo(o TFRCOpts) AlgoSpec {
 			rcv := tfrc.NewReceiver(eng, flow, nil, o.K)
 			rcv.HistoryDiscounting = o.HistoryDiscounting
 			snd := tfrc.NewSender(eng, nil, tfrc.Config{Flow: flow, Conservative: o.Conservative})
+			snd.Pool, rcv.Pool = d.Pool, d.Pool
 			snd.Out = d.PathLR(flow, rcv)
 			rcv.Out = d.PathRL(flow, snd)
 			return Flow{
@@ -127,6 +131,7 @@ func TEARAlgo(alpha float64) AlgoSpec {
 				rcv.Alpha = alpha
 			}
 			snd := tear.NewSender(eng, nil, flow)
+			snd.Pool, rcv.Pool = d.Pool, d.Pool
 			snd.Out = d.PathLR(flow, rcv)
 			rcv.Out = d.PathRL(flow, snd)
 			return Flow{
@@ -146,6 +151,7 @@ func ECNTCPAlgo(b float64) AlgoSpec {
 		Make: func(eng *sim.Engine, d *topology.Dumbbell, flow int) Flow {
 			rcv := cc.NewAckReceiver(eng, flow, nil)
 			snd := tcp.NewSender(eng, nil, tcp.Config{Flow: flow, Policy: tcp.NewAIMD(b), ECN: true})
+			snd.Pool, rcv.Pool = d.Pool, d.Pool
 			snd.Out = d.PathLR(flow, rcv)
 			rcv.Out = d.PathRL(flow, snd)
 			return Flow{
@@ -178,6 +184,7 @@ func SACKTCPAlgo(b float64) AlgoSpec {
 		Make: func(eng *sim.Engine, d *topology.Dumbbell, flow int) Flow {
 			rcv := cc.NewAckReceiver(eng, flow, nil)
 			snd := tcp.NewSender(eng, nil, tcp.Config{Flow: flow, Policy: tcp.NewAIMD(b), SACK: true})
+			snd.Pool, rcv.Pool = d.Pool, d.Pool
 			snd.Out = d.PathLR(flow, rcv)
 			rcv.Out = d.PathRL(flow, snd)
 			return Flow{

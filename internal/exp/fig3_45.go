@@ -34,6 +34,10 @@ type StabilizationConfig struct {
 	// ReverseFlows is the number of reverse-direction TCP flows
 	// (default 2).
 	ReverseFlows int
+	// DisablePool turns off packet pooling for this run. It exists for
+	// the determinism cross-check (pooled and unpooled runs must produce
+	// bit-identical metrics; see DESIGN.md §8), not for production use.
+	DisablePool bool
 }
 
 func (c *StabilizationConfig) fill() {
@@ -80,7 +84,7 @@ type TimePoint struct {
 // RunStabilization runs the Figure 3/4/5 scenario for one algorithm.
 func RunStabilization(cfg StabilizationConfig) StabilizationResult {
 	cfg.fill()
-	eng, d := newScenario(cfg.Seed, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed, DropTail: cfg.DropTail})
+	eng, d := newScenario(cfg.Seed, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed, DropTail: cfg.DropTail, DisablePool: cfg.DisablePool})
 	rtt := d.Cfg.PropRTT()
 
 	mon := metrics.NewLossMonitor(10 * rtt) // paper: average over ten RTTs

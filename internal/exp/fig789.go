@@ -41,6 +41,10 @@ type FairnessConfig struct {
 	// ECN switches the bottlenecks to ECN marking (pair with
 	// ECN-enabled algorithms for the ablation).
 	ECN bool
+	// DisablePool turns off packet pooling for every run in the sweep.
+	// It exists for the determinism cross-check (pooled and unpooled
+	// runs must produce bit-identical metrics; see DESIGN.md §8).
+	DisablePool bool
 }
 
 func (c *FairnessConfig) fill() {
@@ -143,7 +147,7 @@ func mergeFairness(trials []FairnessPoint) FairnessPoint {
 }
 
 func runFairness(cfg FairnessConfig, period sim.Time) FairnessPoint {
-	eng, d := newScenario(cfg.Seed, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed, ECN: cfg.ECN})
+	eng, d := newScenario(cfg.Seed, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed, ECN: cfg.ECN, DisablePool: cfg.DisablePool})
 
 	n := cfg.AFlows + cfg.BFlows
 	flows := make([]Flow, 0, n)

@@ -1,9 +1,22 @@
 package exp
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 )
+
+// sweepPanic carries a worker panic back to the caller goroutine along
+// with the sweep index that raised it.
+type sweepPanic struct {
+	index int
+	value any
+	stack []byte
+}
+
+func (p *sweepPanic) String() string {
+	return fmt.Sprintf("exp: sweep index %d panicked: %v\n%s", p.index, p.value, p.stack)
+}
 
 // parallelMap runs fn over 0..n-1 on up to GOMAXPROCS workers and
 // returns the results in index order. Each simulation owns its engine,
@@ -11,10 +24,28 @@ import (
 // from minutes into tens of seconds on a multicore host. Determinism is
 // preserved: results depend only on each point's own seed, never on
 // scheduling.
+//
+// A panic inside fn does not crash the process from a bare worker
+// goroutine: it is captured (with the failing sweep index and the
+// worker's stack) and re-raised on the caller's goroutine once every
+// in-flight item has settled, so test frameworks and callers see an
+// ordinary panic with context. When several indices panic, the lowest
+// index wins, which keeps the reported failure deterministic.
 func parallelMap[T any](n int, fn func(i int) T) []T {
 	out := make([]T, n)
 	if n == 0 {
 		return out
+	}
+	run := func(i int) (p *sweepPanic) {
+		defer func() {
+			if v := recover(); v != nil {
+				buf := make([]byte, 8192)
+				buf = buf[:runtime.Stack(buf, false)]
+				p = &sweepPanic{index: i, value: v, stack: buf}
+			}
+		}()
+		out[i] = fn(i)
+		return nil
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -22,18 +53,32 @@ func parallelMap[T any](n int, fn func(i int) T) []T {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			out[i] = fn(i)
+			if p := run(i); p != nil {
+				panic(p.String())
+			}
 		}
 		return out
 	}
-	var wg sync.WaitGroup
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstPan *sweepPanic
+	)
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Recovering per item keeps the worker draining the channel, so
+			// the feeder can never deadlock behind a dead worker.
 			for i := range next {
-				out[i] = fn(i)
+				if p := run(i); p != nil {
+					mu.Lock()
+					if firstPan == nil || p.index < firstPan.index {
+						firstPan = p
+					}
+					mu.Unlock()
+				}
 			}
 		}()
 	}
@@ -42,5 +87,8 @@ func parallelMap[T any](n int, fn func(i int) T) []T {
 	}
 	close(next)
 	wg.Wait()
+	if firstPan != nil {
+		panic(firstPan.String())
+	}
 	return out
 }

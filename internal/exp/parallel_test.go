@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -25,6 +26,72 @@ func TestParallelMapSingle(t *testing.T) {
 	if len(out) != 1 || out[0] != "x" {
 		t.Fatalf("out = %v", out)
 	}
+}
+
+// A worker panic must surface on the caller's goroutine, naming the
+// failing sweep index, instead of crashing the whole process from a
+// bare goroutine.
+func TestParallelMapPanicPropagates(t *testing.T) {
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("panic in a sweep worker was swallowed")
+		}
+		msg, ok := v.(string)
+		if !ok {
+			t.Fatalf("re-panic value is %T, want string", v)
+		}
+		if !strings.Contains(msg, "sweep index 17") {
+			t.Fatalf("panic message does not name the failing index: %q", msg)
+		}
+		if !strings.Contains(msg, "boom") {
+			t.Fatalf("panic message does not include the original value: %q", msg)
+		}
+	}()
+	parallelMap(64, func(i int) int {
+		if i == 17 {
+			panic("boom")
+		}
+		return i
+	})
+}
+
+// When several indices panic, the lowest one is reported so the failure
+// is deterministic regardless of worker scheduling.
+func TestParallelMapPanicLowestIndexWins(t *testing.T) {
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("panics were swallowed")
+		}
+		if msg := v.(string); !strings.Contains(msg, "sweep index 3") {
+			t.Fatalf("want lowest failing index 3, got: %q", msg)
+		}
+	}()
+	parallelMap(64, func(i int) int {
+		if i >= 3 {
+			panic(i)
+		}
+		return i
+	})
+}
+
+// All indices must still be computed even when one panics: the panic is
+// raised only after the full sweep settles, so no worker abandons the
+// queue mid-drain (which would deadlock the feeder).
+func TestParallelMapPanicDoesNotDeadlock(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() { recover() }()
+		parallelMap(1000, func(i int) int {
+			if i%7 == 0 {
+				panic(i)
+			}
+			return i
+		})
+	}()
+	<-done
 }
 
 // Property: parallelMap(n, f) == sequential map for any pure f.

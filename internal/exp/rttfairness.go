@@ -73,6 +73,7 @@ type wireAt func(eng *sim.Engine, d *topology.Dumbbell, flow int, access sim.Tim
 func wireTCPAt(eng *sim.Engine, d *topology.Dumbbell, flow int, access sim.Time) (func(), func() int64) {
 	rcv := cc.NewAckReceiver(eng, flow, nil)
 	snd := tcp.NewSender(eng, nil, tcp.Config{Flow: flow})
+	snd.Pool, rcv.Pool = d.Pool, d.Pool
 	snd.Out = d.PathLRDelay(flow, rcv, access)
 	rcv.Out = d.PathRLDelay(flow, snd, access)
 	return snd.Start, func() int64 { return rcv.Stats().BytesRecv }
@@ -82,6 +83,7 @@ func wireTFRCAt(eng *sim.Engine, d *topology.Dumbbell, flow int, access sim.Time
 	rcv := tfrc.NewReceiver(eng, flow, nil, 8)
 	rcv.HistoryDiscounting = true
 	snd := tfrc.NewSender(eng, nil, tfrc.Config{Flow: flow})
+	snd.Pool, rcv.Pool = d.Pool, d.Pool
 	snd.Out = d.PathLRDelay(flow, rcv, access)
 	rcv.Out = d.PathRLDelay(flow, snd, access)
 	return snd.Start, func() int64 { return rcv.Stats().BytesRecv }

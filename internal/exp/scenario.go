@@ -9,15 +9,13 @@ import (
 	"slowcc/internal/topology"
 )
 
-// nullSink discards packets (the far end of one-way CBR traffic).
-type nullSink struct{}
-
-func (nullSink) Handle(*netem.Packet) {}
-
-// addCBR wires a one-way CBR source across the forward bottleneck.
+// addCBR wires a one-way CBR source across the forward bottleneck. The
+// far end is a netem.Sink, which releases delivered packets back to the
+// topology's pool.
 func addCBR(eng *sim.Engine, d *topology.Dumbbell, flow int, peak float64, sched cbr.Schedule) *cbr.Source {
-	ingress := d.PathLR(flow, nullSink{})
+	ingress := d.PathLR(flow, netem.Sink{Pool: d.Pool})
 	src := cbr.NewSource(eng, ingress, flow, peak, sched)
+	src.Pool = d.Pool
 	return src
 }
 
@@ -27,6 +25,7 @@ func addCBR(eng *sim.Engine, d *topology.Dumbbell, flow int, peak float64, sched
 func addReverseTCP(eng *sim.Engine, d *topology.Dumbbell, flow int) *tcp.Sender {
 	rcv := cc.NewAckReceiver(eng, flow, nil)
 	snd := tcp.NewSender(eng, nil, tcp.Config{Flow: flow})
+	snd.Pool, rcv.Pool = d.Pool, d.Pool
 	snd.Out = d.PathRL(flow, rcv) // data right-to-left
 	rcv.Out = d.PathLR(flow, snd) // ACKs left-to-right
 	return snd

@@ -62,15 +62,29 @@ type Link struct {
 	// Audit, when non-nil, is invoked after every accounting transition.
 	// Nil (the default) costs one pointer check per packet event.
 	Audit LinkAuditor
+	// Pool, when non-nil, receives packets the queue refuses. The link is
+	// the component that discovers the drop, so it is the owner at that
+	// moment and must release (taps and the auditor observe the packet
+	// first; see PacketPool for the ownership rules).
+	Pool *PacketPool
 
 	taps []Tap
 	busy bool
+
+	// finishFn and deliverFn are the per-packet timer callbacks, bound
+	// once here so the hot path schedules them through AfterFunc with the
+	// packet as the argument instead of allocating a closure per packet.
+	finishFn  func(any)
+	deliverFn func(any)
 }
 
 // NewLink returns a link transmitting at rate bits/s with the given
 // one-way propagation delay, queue, and destination.
 func NewLink(eng *sim.Engine, rate float64, delay sim.Time, q Queue, dst Handler) *Link {
-	return &Link{eng: eng, Rate: rate, Delay: delay, Q: q, Dst: dst}
+	l := &Link{eng: eng, Rate: rate, Delay: delay, Q: q, Dst: dst}
+	l.finishFn = func(a any) { l.finishTx(a.(*Packet)) }
+	l.deliverFn = func(a any) { l.Dst.Handle(a.(*Packet)) }
+	return l
 }
 
 // AddTap registers an observer called for every packet offered to the
@@ -103,6 +117,7 @@ func (l *Link) Send(p *Packet) bool {
 		if l.Audit != nil {
 			l.Audit.AuditLink(l, now)
 		}
+		l.Pool.Put(p)
 		return false
 	}
 	if !l.busy {
@@ -123,18 +138,21 @@ func (l *Link) startTx() {
 		return
 	}
 	l.busy = true
-	l.eng.After(l.TxTime(p.Size), func() { l.finishTx(p) })
+	l.eng.AfterFunc(l.TxTime(p.Size), l.finishFn, p)
 }
 
 func (l *Link) finishTx(p *Packet) {
 	l.Stats.Departures++
 	l.Stats.Bytes += int64(p.Size)
-	dst := l.Dst
 	delay := l.Delay
 	if l.Jitter > 0 && l.JitterRNG != nil {
 		delay += l.Jitter * l.JitterRNG.Float64()
 	}
-	l.eng.After(delay, func() { dst.Handle(p) })
+	// The delivery event must be scheduled before startTx schedules the
+	// next transmission completion: sequence numbers are assigned in
+	// schedule order, and determinism requires the same assignment order
+	// as the original closure-based code.
+	l.eng.AfterFunc(delay, l.deliverFn, p)
 	l.startTx()
 	if l.Audit != nil {
 		l.Audit.AuditLink(l, l.eng.Now())

@@ -98,6 +98,8 @@ type LossFilter struct {
 	Next Handler
 	// Now supplies simulated time for time-based patterns.
 	Now func() sim.Time
+	// Pool, when non-nil, receives the packets this filter kills.
+	Pool *PacketPool
 
 	// Arrivals and Drops count data packets seen and killed.
 	Arrivals, Drops int64
@@ -112,6 +114,7 @@ func (f *LossFilter) Handle(p *Packet) {
 	f.Arrivals++
 	if f.Pattern != nil && f.Pattern.Drop(f.Now()) {
 		f.Drops++
+		f.Pool.Put(p)
 		return
 	}
 	f.Next.Handle(p)

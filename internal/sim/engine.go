@@ -7,10 +7,17 @@
 // uses; all of the paper's scenarios run for at most a few thousand
 // simulated seconds, far below the range where float64 granularity could
 // reorder events.
+//
+// The event queue is a hand-rolled, index-maintained 4-ary min-heap over
+// []*Timer rather than container/heap: no event is boxed through `any`,
+// sift operations move pointers in place, and the shallower tree halves
+// the comparison depth for the heap sizes the paper's scenarios produce
+// (thousands of pending timers during flash crowds). Fired handle-less
+// timers are recycled through a free list, so the steady-state packet
+// path schedules events without allocating.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
@@ -20,14 +27,21 @@ import (
 type Time = float64
 
 // Timer is a handle to a scheduled event. The zero value is not meaningful;
-// timers are created by Engine.At and Engine.After.
+// timers are created by Engine.At and Engine.After (or reused through
+// Engine.ResetAt and Engine.ResetAfter).
 type Timer struct {
-	at      Time
-	seq     uint64
+	at  Time
+	seq uint64
+	// Exactly one of fn and fnA is set. The fnA/arg form exists so hot
+	// paths can schedule a pre-bound callback with a per-event argument
+	// and no closure allocation.
 	fn      func()
+	fnA     func(any)
+	arg     any
 	eng     *Engine
 	stopped bool
-	index   int // position in the heap, -1 once fired or removed
+	pooled  bool // engine-owned (no external handle); recycle after firing
+	index   int  // position in the heap, -1 once fired or removed
 }
 
 // Stop cancels the timer and removes it from the engine's event heap, so
@@ -39,12 +53,18 @@ func (t *Timer) Stop() bool {
 		return false
 	}
 	t.stopped = true
-	heap.Remove(&t.eng.events, t.index)
+	t.eng.remove(t.index)
 	return true
 }
 
 // Stopped reports whether the timer has been cancelled.
 func (t *Timer) Stopped() bool { return t == nil || t.stopped }
+
+// Pending reports whether the timer is armed: scheduled and neither fired
+// nor stopped. Callers that re-arm one logical timer through ResetAt use
+// it as the "is a timer outstanding" predicate, since a reused handle is
+// never nil.
+func (t *Timer) Pending() bool { return t != nil && !t.stopped && t.index >= 0 }
 
 // When returns the simulated time the timer is (or was) scheduled to fire.
 func (t *Timer) When() Time { return t.at }
@@ -67,7 +87,8 @@ type AuditHook interface {
 type Engine struct {
 	now    Time
 	seq    uint64
-	events eventHeap
+	events []*Timer // 4-ary min-heap ordered by (at, seq)
+	free   []*Timer // recycled timers with no external references
 	rng    *rand.Rand
 	nsteps uint64
 	audit  AuditHook
@@ -100,31 +121,120 @@ func (e *Engine) Pending() int { return len(e.events) }
 // disabled.
 func (e *Engine) SetAudit(h AuditHook) { e.audit = h }
 
-// At schedules fn to run at absolute simulated time t. Scheduling in the
-// past (t < Now) panics: it always indicates a model bug, and silently
-// clamping would corrupt causality. Non-finite times (NaN, ±Inf) panic on
-// the same path: NaN in particular compares false against everything, so
-// it would otherwise slip past the t < now guard and corrupt heap
-// ordering for every later event.
-func (e *Engine) At(t Time, fn func()) *Timer {
+// validate panics on timestamps that would corrupt the schedule.
+// Scheduling in the past (t < Now) always indicates a model bug, and
+// silently clamping would corrupt causality. Non-finite times (NaN, ±Inf)
+// panic on the same path: NaN in particular compares false against
+// everything, so it would otherwise slip past the t < now guard and
+// corrupt heap ordering for every later event.
+func (e *Engine) validate(t Time) {
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v (now %v)", t, e.now))
 	}
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
+}
+
+// schedule stamps tm with the next sequence number and pushes it onto the
+// heap. The caller has already validated t and set the callback fields.
+func (e *Engine) schedule(t Time, tm *Timer) {
 	if e.audit != nil {
 		e.audit.OnSchedule(e.now, t)
 	}
 	e.seq++
-	tm := &Timer{at: t, seq: e.seq, fn: fn, eng: e}
-	heap.Push(&e.events, tm)
+	tm.at = t
+	tm.seq = e.seq
+	tm.stopped = false
+	e.push(tm)
+}
+
+// newTimer returns a zeroed timer, reusing a recycled one when available.
+func (e *Engine) newTimer() *Timer {
+	if n := len(e.free); n > 0 {
+		tm := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return tm
+	}
+	return &Timer{eng: e}
+}
+
+// recycle returns an engine-owned timer to the free list. Callback and
+// argument references are dropped so a parked timer cannot retain packets
+// or closures.
+func (e *Engine) recycle(tm *Timer) {
+	tm.fn = nil
+	tm.fnA = nil
+	tm.arg = nil
+	tm.pooled = false
+	tm.stopped = false
+	e.free = append(e.free, tm)
+}
+
+// At schedules fn to run at absolute simulated time t and returns a
+// handle that can Stop it. Scheduling in the past or at a non-finite
+// time panics (see validate).
+func (e *Engine) At(t Time, fn func()) *Timer {
+	e.validate(t)
+	tm := e.newTimer()
+	tm.fn = fn
+	e.schedule(t, tm)
 	return tm
 }
 
 // After schedules fn to run d seconds from now. Negative d panics.
 func (e *Engine) After(d Time, fn func()) *Timer {
 	return e.At(e.now+d, fn)
+}
+
+// AtFunc schedules fn(arg) at absolute time t without returning a
+// handle. The timer is engine-owned: it cannot be stopped, and it is
+// recycled the moment it fires, so a steady stream of AtFunc events
+// allocates nothing once the free list is warm. fn should be a callback
+// bound once at setup (a stored method value), not a fresh closure, or
+// the allocation simply moves into the caller.
+func (e *Engine) AtFunc(t Time, fn func(any), arg any) {
+	e.validate(t)
+	tm := e.newTimer()
+	tm.fnA = fn
+	tm.arg = arg
+	tm.pooled = true
+	e.schedule(t, tm)
+}
+
+// AfterFunc schedules fn(arg) d seconds from now without returning a
+// handle; see AtFunc.
+func (e *Engine) AfterFunc(d Time, fn func(any), arg any) {
+	e.AtFunc(e.now+d, fn, arg)
+}
+
+// ResetAt reschedules tm to run fn at absolute time t, reusing the timer
+// object in place: if tm is still pending it is first removed from the
+// heap (exactly like Stop), and either way the same handle is returned
+// re-armed with a fresh sequence number. A nil tm (or one belonging to a
+// different engine) allocates as At does. Because the object is reused
+// only through the handle the caller already holds, recycling is safe by
+// construction; callers that re-arm one logical timer per event (RTO
+// timers, pacing loops) allocate nothing in steady state.
+func (e *Engine) ResetAt(tm *Timer, t Time, fn func()) *Timer {
+	if tm == nil || tm.eng != e {
+		return e.At(t, fn)
+	}
+	e.validate(t)
+	if tm.index >= 0 {
+		e.remove(tm.index)
+	}
+	tm.fn = fn
+	tm.fnA = nil
+	tm.arg = nil
+	e.schedule(t, tm)
+	return tm
+}
+
+// ResetAfter is ResetAt relative to the current time.
+func (e *Engine) ResetAfter(tm *Timer, d Time, fn func()) *Timer {
+	return e.ResetAt(tm, e.now+d, fn)
 }
 
 // step executes the earliest pending event. It reports false when no
@@ -134,14 +244,26 @@ func (e *Engine) step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	tm := heap.Pop(&e.events).(*Timer)
+	tm := e.popMin()
 	prev := e.now
 	e.now = tm.at
 	e.nsteps++
 	if e.audit != nil {
 		e.audit.OnEvent(prev, tm.at, tm.seq)
 	}
-	tm.fn()
+	if tm.fnA != nil {
+		fn, arg := tm.fnA, tm.arg
+		if tm.pooled {
+			e.recycle(tm)
+		}
+		fn(arg)
+	} else {
+		fn := tm.fn
+		if tm.pooled {
+			e.recycle(tm)
+		}
+		fn()
+	}
 	return true
 }
 
@@ -165,37 +287,109 @@ func (e *Engine) RunUntil(t Time) {
 	}
 }
 
-// eventHeap orders timers by (time, sequence). The sequence tiebreak keeps
-// same-instant events in FIFO order.
-type eventHeap []*Timer
+// The event heap is 4-ary: children of node i live at 4i+1..4i+4, the
+// parent of node i at (i-1)/4. Ordering is (at, seq); seq is unique, so
+// the order is total and pop order is exactly the FIFO-on-ties order the
+// determinism guarantee requires.
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less reports whether heap node a fires before heap node b.
+func timerLess(a, b *Timer) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+func (e *Engine) push(tm *Timer) {
+	tm.index = len(e.events)
+	e.events = append(e.events, tm)
+	e.siftUp(tm.index)
 }
 
-func (h *eventHeap) Push(x any) {
-	tm := x.(*Timer)
-	tm.index = len(*h)
-	*h = append(*h, tm)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	tm := old[n-1]
-	old[n-1] = nil
+// popMin removes and returns the earliest timer.
+func (e *Engine) popMin() *Timer {
+	h := e.events
+	tm := h[0]
+	n := len(h) - 1
+	if n > 0 {
+		h[0] = h[n]
+		h[0].index = 0
+	}
+	h[n] = nil
+	e.events = h[:n]
+	if n > 1 {
+		e.siftDown(0)
+	}
 	tm.index = -1
-	*h = old[:n-1]
 	return tm
+}
+
+// remove deletes the timer at heap position i, restoring heap order.
+func (e *Engine) remove(i int) {
+	h := e.events
+	tm := h[i]
+	n := len(h) - 1
+	if i != n {
+		h[i] = h[n]
+		h[i].index = i
+		h[n] = nil
+		e.events = h[:n]
+		if !e.siftDown(i) {
+			e.siftUp(i)
+		}
+	} else {
+		h[n] = nil
+		e.events = h[:n]
+	}
+	tm.index = -1
+}
+
+// siftUp moves the node at i toward the root until its parent fires no
+// later than it does.
+func (e *Engine) siftUp(i int) {
+	h := e.events
+	tm := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !timerLess(tm, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].index = i
+		i = p
+	}
+	h[i] = tm
+	tm.index = i
+}
+
+// siftDown moves the node at i toward the leaves, swapping with its
+// earliest child while that child fires first. It reports whether the
+// node moved.
+func (e *Engine) siftDown(i int) bool {
+	h := e.events
+	n := len(h)
+	tm := h[i]
+	start := i
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		// Find the earliest of up to four children.
+		min := c
+		for j := c + 1; j < c+4 && j < n; j++ {
+			if timerLess(h[j], h[min]) {
+				min = j
+			}
+		}
+		if !timerLess(h[min], tm) {
+			break
+		}
+		h[i] = h[min]
+		h[i].index = i
+		i = min
+	}
+	h[i] = tm
+	tm.index = i
+	return i > start
 }

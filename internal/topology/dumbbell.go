@@ -60,6 +60,11 @@ type Config struct {
 	// accounting transition of the whole topology. Nil disables auditing
 	// at zero per-packet cost.
 	Audit *invariant.Auditor
+	// DisablePool leaves Dumbbell.Pool nil, so every packet is heap
+	// allocated and never reused — the pre-pooling behavior. It exists
+	// for the determinism cross-check, which asserts pooled and unpooled
+	// runs of the same scenario produce bit-identical metrics.
+	DisablePool bool
 }
 
 func (c *Config) fill() {
@@ -113,6 +118,11 @@ type Dumbbell struct {
 	// Filter is the scripted loss stage ahead of LR (nil unless
 	// Config.ForwardLoss was set).
 	Filter *netem.LossFilter
+	// Pool recycles packets across the whole topology. Endpoints wired
+	// onto the dumbbell should allocate and release through it. Nil when
+	// Config.DisablePool is set, which every pool-aware component treats
+	// as plain heap allocation.
+	Pool *netem.PacketPool
 
 	lrEntry netem.Handler         // LR, or Filter when configured
 	demuxR  map[int]netem.Handler // flow -> right-side egress (after LR)
@@ -123,13 +133,17 @@ type Dumbbell struct {
 // access link.
 type demux struct {
 	table map[int]netem.Handler
+	pool  *netem.PacketPool
 }
 
 func (d demux) Handle(p *netem.Packet) {
 	if h, ok := d.table[p.Flow]; ok {
 		h.Handle(p)
+		return
 	}
-	// Unknown flows are silently discarded: a sink for one-way traffic.
+	// Unknown flows are discarded: a sink for one-way traffic. The demux
+	// is the packet's final owner here, so it releases.
+	d.pool.Put(p)
 }
 
 // New builds a dumbbell on eng.
@@ -140,6 +154,9 @@ func New(eng *sim.Engine, cfg Config) *Dumbbell {
 		Cfg:    cfg,
 		demuxR: make(map[int]netem.Handler),
 		demuxL: make(map[int]netem.Handler),
+	}
+	if !cfg.DisablePool {
+		d.Pool = &netem.PacketPool{}
 	}
 	bdp := cfg.BDPPkts()
 	mk := func(seed int64) netem.Queue {
@@ -157,15 +174,17 @@ func New(eng *sim.Engine, cfg Config) *Dumbbell {
 		q.Gentle = cfg.Gentle
 		return q
 	}
-	d.LR = netem.NewLink(eng, cfg.Rate, cfg.Delay, mk(cfg.Seed+1), demux{d.demuxR})
-	d.RL = netem.NewLink(eng, cfg.Rate, cfg.Delay, mk(cfg.Seed+2), demux{d.demuxL})
+	d.LR = netem.NewLink(eng, cfg.Rate, cfg.Delay, mk(cfg.Seed+1), demux{d.demuxR, d.Pool})
+	d.RL = netem.NewLink(eng, cfg.Rate, cfg.Delay, mk(cfg.Seed+2), demux{d.demuxL, d.Pool})
+	d.LR.Pool = d.Pool
+	d.RL.Pool = d.Pool
 	if cfg.Audit != nil {
 		cfg.Audit.WatchLink("LR", d.LR)
 		cfg.Audit.WatchLink("RL", d.RL)
 	}
 	d.lrEntry = d.LR
 	if cfg.ForwardLoss != nil {
-		d.Filter = &netem.LossFilter{Pattern: cfg.ForwardLoss, Next: d.LR, Now: eng.Now}
+		d.Filter = &netem.LossFilter{Pattern: cfg.ForwardLoss, Next: d.LR, Now: eng.Now, Pool: d.Pool}
 		d.lrEntry = d.Filter
 	}
 	return d
@@ -205,10 +224,12 @@ func (d *Dumbbell) path(flow int, dst netem.Handler, bottleneck netem.Handler, t
 	// Egress access link: bottleneck -> demux -> this link -> dst.
 	out := netem.NewLink(d.Eng, d.Cfg.AccessRate, accessDelay,
 		netem.NewDropTail(1<<20), dst)
+	out.Pool = d.Pool
 	table[flow] = out
 	// Ingress access link: source -> this link -> bottleneck.
 	in := netem.NewLink(d.Eng, d.Cfg.AccessRate, accessDelay,
 		netem.NewDropTail(1<<20), bottleneck)
+	in.Pool = d.Pool
 	if d.Cfg.Audit != nil {
 		d.Cfg.Audit.WatchLink(fmt.Sprintf("access-%d-out", flow), out)
 		d.Cfg.Audit.WatchLink(fmt.Sprintf("access-%d-in", flow), in)

@@ -64,6 +64,7 @@ func NewFlashCrowd(eng *sim.Engine, d *topology.Dumbbell, cfg FlashCrowdConfig) 
 				fc.CompletionTimes = append(fc.CompletionTimes, eng.Now()-arrive)
 			},
 		})
+		snd.Pool, rcv.Pool = d.Pool, d.Pool
 		snd.Out = d.PathLR(flowID, rcv)
 		rcv.Out = d.PathRL(flowID, snd)
 		fc.Senders = append(fc.Senders, snd)
