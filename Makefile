@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke bench-json
+.PHONY: ci vet build test race bench bench-smoke bench-json report-smoke
 
 # ci is the gate future PRs run: static checks, a full build, the
 # complete test suite under the race detector, and a single-iteration
@@ -10,7 +10,7 @@ GO ?= go
 # so packet-accounting regressions fail here even when no figure-level
 # assertion notices them; -race additionally exercises parallelMap's
 # worker pool.
-ci: vet build race bench-smoke
+ci: vet build race bench-smoke report-smoke
 
 vet:
 	$(GO) vet ./...
@@ -33,6 +33,19 @@ bench:
 # minutes) — a ci step, not a measurement.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=EnginePacketsPerSecond -benchtime=1x .
+
+# report-smoke exercises the manifest pipeline end to end: a short
+# probed slowcctrace run writes a digest-sealed manifest plus probe TSV,
+# and slowccreport must verify the digest and render them. Catches
+# manifest/report wiring breaks the unit tests can't (flag plumbing,
+# file round trips through the real binaries).
+report-smoke:
+	rm -rf .report-smoke && mkdir -p .report-smoke
+	$(GO) run ./cmd/slowcctrace -flow tcp:0.5 -flow tfrc:8 -dur 5 -probe 0.5 \
+		-out .report-smoke/trace.tsv -probes .report-smoke/run.probes.tsv \
+		-manifest .report-smoke/run.json > /dev/null
+	$(GO) run ./cmd/slowccreport -probes .report-smoke/run.probes.tsv .report-smoke/run.json
+	rm -rf .report-smoke
 
 # bench-json measures the simulator core (engine, link, per-flow, and
 # the two-flow macro-benchmark), records the trajectory against the

@@ -290,6 +290,41 @@ func BenchmarkEnginePacketsPerSecond(b *testing.B) {
 	}
 }
 
+// BenchmarkEnginePacketsPerSecondObsOff is the same scenario as
+// BenchmarkEnginePacketsPerSecond with the full observability layer
+// wired but disabled: a counter registry registered over the topology,
+// a sampler installed in the engine's probe hook slot at interval 0.
+// The one-time wiring (closure registration, sampler construction) sits
+// outside the timed window — the claim under test is the steady-state
+// cost of the disabled layer, not its setup. The cmd/slowccbench obs
+// gate compares the pair from the same run and fails on more than 2%
+// slowdown or any extra allocations — "costs nothing when off" stated
+// as a regression check.
+func BenchmarkEnginePacketsPerSecondObsOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := slowcc.NewEngine(int64(i + 1))
+		d := slowcc.NewDumbbell(eng, slowcc.DumbbellConfig{Rate: 10e6, Seed: int64(i + 1)})
+		f1 := slowcc.TCP(0.5).Make(eng, d, 1)
+		f2 := slowcc.TCP(0.5).Make(eng, d, 2)
+		b.StopTimer()
+		reg := &slowcc.CounterRegistry{}
+		d.Observe(reg)
+		smp := slowcc.NewSampler(0) // disabled cadence, hook still installed
+		d.ObserveProbes(smp)
+		smp.Add("flow1", f1.Probes)
+		smp.Add("flow2", f2.Probes)
+		smp.Install(eng)
+		b.StartTimer()
+		eng.At(0, f1.Sender.Start)
+		eng.At(0, f2.Sender.Start)
+		eng.RunUntil(30)
+		b.ReportMetric(float64(eng.Steps()), "events")
+		if n := len(smp.Samples()); n != 0 {
+			b.Fatalf("disabled sampler recorded %d samples", n)
+		}
+	}
+}
+
 // BenchmarkSACKAblation reruns the Figure 5 headline cell with
 // SACK-recovery TCP as the yardstick family, checking the fidelity
 // deviation noted in EXPERIMENTS.md does not change the conclusion.

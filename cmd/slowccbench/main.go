@@ -8,6 +8,14 @@
 // minimum speedup and allocation drop on the macro-benchmark — are not
 // met, so `make bench-json` doubles as a performance regression check.
 //
+// It also enforces the observability-overhead gate: the macro-benchmark
+// with the obs layer wired but disabled (EnginePacketsPerSecondObsOff)
+// may be at most 2% slower than the plain variant measured in the same
+// invocation (a paired comparison, so machine drift between commits
+// cannot fake a pass or a fail) and may not allocate a single op more
+// than the PR 2 allocation-free record, with identical event counts
+// throughout.
+//
 // Usage:
 //
 //	slowccbench [-out BENCH_core.json] [-count 3] [-benchtime 1x]
@@ -46,6 +54,28 @@ var baseline = record{
 	},
 }
 
+// pr2 is the allocation-free-core measurement recorded when the
+// optimization PR landed (commit e3ff66b), the reference the
+// observability gate's allocation check compares against: wiring the
+// obs layer (disabled) must not add a single alloc/op to the
+// macro-benchmark. Its ns/op is machine- and load-dependent, so the
+// obs *time* gate deliberately does not use it — the ≤2% check
+// compares EnginePacketsPerSecondObsOff against EnginePacketsPerSecond
+// measured in the same slowccbench invocation instead.
+var pr2 = record{
+	Commit: "e3ff66b",
+	Note: "allocation-free core: pooled timers/packets, pre-bound callbacks; " +
+		"min of 3 runs at -benchtime=1x, seed 1",
+	Benchmarks: map[string]map[string]float64{
+		"EnginePacketsPerSecond": {
+			"ns/op":     38832407,
+			"events":    403989,
+			"B/op":      76176,
+			"allocs/op": 438,
+		},
+	},
+}
+
 type record struct {
 	Commit     string                        `json:"commit"`
 	Note       string                        `json:"note,omitempty"`
@@ -53,19 +83,26 @@ type record struct {
 }
 
 type report struct {
-	Schema     string  `json:"schema"`
-	GoVersion  string  `json:"go_version"`
-	NumCPU     int     `json:"num_cpu"`
-	Settings   string  `json:"settings"`
-	Baseline   record  `json:"baseline"`
-	Current    record  `json:"current"`
-	Gates      gates   `json:"gates"`
-	Trajectory outcome `json:"trajectory"`
+	Schema     string     `json:"schema"`
+	GoVersion  string     `json:"go_version"`
+	NumCPU     int        `json:"num_cpu"`
+	Settings   string     `json:"settings"`
+	Baseline   record     `json:"baseline"`
+	PR2        record     `json:"pr2_core"`
+	Current    record     `json:"current"`
+	Gates      gates      `json:"gates"`
+	Trajectory outcome    `json:"trajectory"`
+	Obs        obsOutcome `json:"obs_overhead"`
 }
 
 type gates struct {
 	MinSpeedup    float64 `json:"min_speedup"`
 	MinAllocsDrop float64 `json:"min_allocs_drop"`
+	// MaxObsSlowdown caps the obs-disabled macro-benchmark time against
+	// the plain variant measured in the same run (1.02 = 2%).
+	MaxObsSlowdown float64 `json:"max_obs_slowdown"`
+	// MaxObsExtraAllocs caps allocs/op added over the PR 2 record (0).
+	MaxObsExtraAllocs float64 `json:"max_obs_extra_allocs"`
 }
 
 type outcome struct {
@@ -76,10 +113,25 @@ type outcome struct {
 	Pass       bool    `json:"pass"`
 }
 
+// obsOutcome is the observability-overhead gate: the obs-wired-but-
+// disabled macro-benchmark against its plain twin from the same
+// invocation (time, immune to machine drift between commits) and
+// against the PR 2 allocation record (allocs, deterministic).
+type obsOutcome struct {
+	Benchmark   string  `json:"benchmark"`
+	Slowdown    float64 `json:"slowdown_vs_plain"`
+	ExtraAllocs float64 `json:"extra_allocs_vs_pr2"`
+	EventsSame  bool    `json:"events_identical"`
+	Pass        bool    `json:"pass"`
+}
+
 // suites lists the benchmarks per package. Each layer of the core has
 // its own entry so a regression names its layer.
 var suites = []struct{ pkg, pattern string }{
-	{".", "EnginePacketsPerSecond|TCPFlowSimSecond|TFRCFlowSimSecond"},
+	// The Obs variant runs in the same invocation as the plain macro-
+	// benchmark so the overhead comparison is paired: same machine,
+	// same load, interleaved by -count.
+	{".", "EnginePacketsPerSecond$|EnginePacketsPerSecondObsOff|TCPFlowSimSecond|TFRCFlowSimSecond"},
 	{"./internal/sim", "EngineEventTurnover"},
 	{"./internal/netem", "LinkForward"},
 }
@@ -105,17 +157,21 @@ func main() {
 		}
 	}
 
-	g := gates{MinSpeedup: 1.5, MinAllocsDrop: 0.60}
+	g := gates{MinSpeedup: 1.5, MinAllocsDrop: 0.60, MaxObsSlowdown: 1.02, MaxObsExtraAllocs: 0}
 	rep := report{
-		Schema:    "slowcc-bench-core/1",
+		Schema:    "slowcc-bench-core/2",
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
 		Settings:  fmt.Sprintf("-benchtime=%s -benchmem -count=%d (min recorded), seed 1", *benchtime, *count),
 		Baseline:  baseline,
+		PR2:       pr2,
 		Current:   cur,
 		Gates:     g,
 		Trajectory: trajectory(baseline.Benchmarks["EnginePacketsPerSecond"],
 			cur.Benchmarks["EnginePacketsPerSecond"], g),
+		Obs: obsOverhead(cur.Benchmarks["EnginePacketsPerSecond"],
+			cur.Benchmarks["EnginePacketsPerSecondObsOff"],
+			pr2.Benchmarks["EnginePacketsPerSecond"], g),
 	}
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
@@ -131,8 +187,15 @@ func main() {
 	t := rep.Trajectory
 	fmt.Printf("%s: speedup %.2fx (gate %.1fx), allocs drop %.2f%% (gate %.0f%%), events identical: %v -> %s\n",
 		t.Benchmark, t.Speedup, g.MinSpeedup, t.AllocsDrop*100, g.MinAllocsDrop*100, t.EventsSame, *out)
+	o := rep.Obs
+	fmt.Printf("%s: slowdown %.3fx vs plain (gate %.2fx), extra allocs %+.0f vs pr2 (gate %+.0f), events identical: %v\n",
+		o.Benchmark, o.Slowdown, g.MaxObsSlowdown, o.ExtraAllocs, g.MaxObsExtraAllocs, o.EventsSame)
 	if !t.Pass {
 		fmt.Fprintln(os.Stderr, "slowccbench: optimization gates NOT met")
+		os.Exit(1)
+	}
+	if !o.Pass {
+		fmt.Fprintln(os.Stderr, "slowccbench: observability overhead gates NOT met")
 		os.Exit(1)
 	}
 }
@@ -146,6 +209,23 @@ func trajectory(base, cur map[string]float64, g gates) outcome {
 	o.AllocsDrop = 1 - cur["allocs/op"]/base["allocs/op"]
 	o.EventsSame = base["events"] == cur["events"]
 	o.Pass = o.Speedup >= g.MinSpeedup && o.AllocsDrop >= g.MinAllocsDrop && o.EventsSame
+	return o
+}
+
+// obsOverhead compares the obs-wired-but-disabled macro-benchmark
+// (obsOff) against the plain variant from the same invocation and
+// against the PR 2 allocation record. Both variants must execute the
+// same event count — the obs layer is not allowed to change simulated
+// behavior — and that count must still equal the PR 2 record's.
+func obsOverhead(plain, obsOff, pr2core map[string]float64, g gates) obsOutcome {
+	o := obsOutcome{Benchmark: "EnginePacketsPerSecondObsOff"}
+	if plain == nil || obsOff == nil || pr2core == nil || plain["ns/op"] == 0 {
+		return o
+	}
+	o.Slowdown = obsOff["ns/op"] / plain["ns/op"]
+	o.ExtraAllocs = obsOff["allocs/op"] - pr2core["allocs/op"]
+	o.EventsSame = obsOff["events"] == plain["events"] && obsOff["events"] == pr2core["events"]
+	o.Pass = o.Slowdown <= g.MaxObsSlowdown && o.ExtraAllocs <= g.MaxObsExtraAllocs && o.EventsSame
 	return o
 }
 

@@ -1,0 +1,77 @@
+// Command slowccreport renders one or more run manifests — produced by
+// slowcctrace -manifest, slowccsim -manifest, or the exp drivers — into
+// a human-readable comparison table: configuration, event counts, and
+// every core counter side by side, one column per run. Probe TSV files
+// (slowcctrace -probes) can be attached to their runs with -probes, in
+// the same order as the manifest arguments, and are summarized per
+// probe variable (count, min, mean, max, last).
+//
+// Manifest digests are verified on read: a manifest whose content no
+// longer matches its recorded digest is rejected, so a report is always
+// over authentic run records.
+//
+// Usage:
+//
+//	slowccreport run1.json run2.json
+//	slowccreport -probes run1.probes.tsv run1.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"slowcc"
+)
+
+// tsvList collects repeated -probes flags.
+type tsvList []string
+
+func (f *tsvList) String() string { return strings.Join(*f, ",") }
+
+func (f *tsvList) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+func main() {
+	var probeFiles tsvList
+	flag.Var(&probeFiles, "probes", "probe TSV for the i-th manifest (repeatable, positional match)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: slowccreport [-probes probes.tsv]... manifest.json...")
+		os.Exit(2)
+	}
+
+	var manifests []*slowcc.Manifest
+	for _, path := range flag.Args() {
+		m, err := slowcc.ReadManifest(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		manifests = append(manifests, m)
+	}
+
+	samples := make([][]slowcc.ProbeSample, len(manifests))
+	for i, path := range probeFiles {
+		if i >= len(samples) {
+			fmt.Fprintf(os.Stderr, "slowccreport: more -probes files than manifests\n")
+			os.Exit(2)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		samples[i], err = slowcc.ReadProbeTSV(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Print(slowcc.RenderReport(manifests, samples))
+}

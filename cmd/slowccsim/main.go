@@ -9,6 +9,7 @@
 //	slowccsim -exp fig5            # quick (scaled-down) parameters
 //	slowccsim -exp fig5 -full     # the paper's full parameters
 //	slowccsim -exp all -full      # everything (minutes of CPU)
+//	slowccsim -exp fig5 -manifest run.json   # record a run manifest
 package main
 
 import (
@@ -19,10 +20,12 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"slowcc/internal/exp"
+	"slowcc/internal/obs"
 	"slowcc/internal/sim"
 )
 
@@ -66,6 +69,7 @@ func main() {
 		full       = flag.Bool("full", false, "use the paper's full durations and sweeps")
 		seed       = flag.Int64("seed", 1, "simulation seed")
 		asJSON     = flag.Bool("json", false, "emit typed results as JSON instead of tables")
+		manifest   = flag.String("manifest", "", "write a deterministic run-manifest JSON to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -112,6 +116,10 @@ func main() {
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].name < exps[j].name })
 	ran := false
+	m := obs.NewManifest("slowccsim", *seed)
+	m.Config["full"] = strconv.FormatBool(*full)
+	m.Config["exp"] = *name
+	wallStart := time.Now()
 	for _, e := range exps {
 		if *name != "all" && !strings.EqualFold(*name, e.name) {
 			continue
@@ -119,6 +127,12 @@ func main() {
 		ran = true
 		start := time.Now()
 		text, data := e.run(*full, *seed)
+		// The result digest makes the manifest a reproducibility record:
+		// same binary, same seed, same flags must yield the same digests.
+		if blob, err := json.Marshal(data); err == nil {
+			m.Outputs[e.name] = obs.DigestBytes(blob)
+			m.Algos = append(m.Algos, e.name)
+		}
 		if *asJSON {
 			blob, err := json.MarshalIndent(map[string]any{"experiment": e.name, "result": data}, "", "  ")
 			if err != nil {
@@ -134,6 +148,14 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *name)
 		os.Exit(2)
+	}
+	if *manifest != "" {
+		m.WallTimeS = time.Since(wallStart).Seconds()
+		if err := m.WriteFile(*manifest); err != nil {
+			fmt.Fprintf(os.Stderr, "manifest: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("manifest written to %s\n", *manifest)
 	}
 }
 

@@ -7,8 +7,34 @@
 //
 //	slowcctrace -flow tcp:0.5 -flow tfrc:8 -dur 30 -out trace.tsv
 //	slowcctrace -flow tcp:0.5 -flow tcp:0.125 -rate 5e6 -dur 60
+//	slowcctrace -flow tcp:0.5 -flow tfrc:8 -probe 0.1 -probes probes.tsv -manifest run.json
 //
-// Flow specs: tcp:B, sqrt:B, iiad:B, rap:B, tfrc:K, tfrc+sc:K, tear.
+// Flow specs select the algorithm and its parameter, separated by a
+// colon:
+//
+//	tcp:B     TCP with AIMD(B) window rules (tcp:0.5 is standard TCP)
+//	sqrt:B    SQRT binomial algorithm with decrease scale B
+//	iiad:B    IIAD binomial algorithm with decrease scale B
+//	rap:B     rate-based AIMD (RAP) with decrease factor B
+//	tfrc:K    equation-based TFRC averaging K loss intervals
+//	tfrc+sc:K TFRC with the paper's conservative self-clocking option
+//	tear:A    TCP Emulation At Receivers with EWMA gain A (0 = default)
+//
+// State probes: -probe I samples every flow's internal state (cwnd and
+// srtt for the windowed algorithms, sending rate for the rate-based
+// ones, the TFRC receiver's loss-event rate p) plus the RED queues'
+// average/instantaneous occupancy and drop probability every I
+// simulated seconds, without perturbing the run — the sampler
+// piggybacks on the event stream, so the packet schedule is identical
+// with probes on or off. -probes writes the samples as TSV
+// (t, probe, var, value); plot cwnd of flow 1 with e.g.
+//
+//	awk -F'\t' '$2=="flow1.TCP(1/2)" && $3=="cwnd"' probes.tsv
+//
+// -manifest writes a deterministic JSON run manifest (config, seed,
+// algorithms, event count, counters, sha256 digests of the written
+// trace/probe files); cmd/slowccreport renders one or more manifests
+// side by side.
 package main
 
 import (
@@ -84,39 +110,42 @@ func main() {
 	var flows flowList
 	flag.Var(&flows, "flow", "flow spec (repeatable), e.g. tcp:0.5, tfrc:8, tear")
 	var (
-		rate = flag.Float64("rate", 10e6, "bottleneck bandwidth, bits/s")
-		dur  = flag.Float64("dur", 30, "simulated duration, seconds")
-		seed = flag.Int64("seed", 1, "simulation seed")
-		out  = flag.String("out", "", "TSV trace output path (omit to skip)")
-		ecn  = flag.Bool("ecn", false, "ECN-marking bottleneck")
+		rate     = flag.Float64("rate", 10e6, "bottleneck bandwidth, bits/s")
+		dur      = flag.Float64("dur", 30, "simulated duration, seconds")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		out      = flag.String("out", "", "TSV trace output path (omit to skip)")
+		ecn      = flag.Bool("ecn", false, "ECN-marking bottleneck")
+		probe    = flag.Float64("probe", 0, "state-probe sampling interval, seconds (0 disables)")
+		probeOut = flag.String("probes", "", "probe TSV output path (default <out>.probes.tsv when -probe is set with -out)")
+		manifest = flag.String("manifest", "", "run-manifest JSON output path (omit to skip)")
 	)
 	flag.Parse()
 	if len(flows) == 0 {
 		flows = flowList{"tcp:0.5", "tfrc:8"}
 	}
 
-	eng := slowcc.NewEngine(*seed)
-	d := slowcc.NewDumbbell(eng, slowcc.DumbbellConfig{Rate: *rate, ECN: *ecn, Seed: *seed})
-	var rec slowcc.Tracer
-	d.LR.AddTap(rec.LinkTap())
-
-	names := make([]string, len(flows))
-	wired := make([]slowcc.Flow, len(flows))
-	for i, spec := range flows {
+	cfg := slowcc.TraceRunConfig{
+		Seed:          *seed,
+		Rate:          *rate,
+		Duration:      *dur,
+		ECN:           *ecn,
+		ProbeInterval: *probe,
+	}
+	for _, spec := range flows {
 		algo, err := parseAlgo(spec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		names[i] = algo.Name
-		wired[i] = algo.Make(eng, d, i+1)
-		eng.At(0, wired[i].Sender.Start)
+		cfg.Algos = append(cfg.Algos, algo)
 	}
-	eng.RunUntil(*dur)
+	run := slowcc.NewTraceRun(cfg)
+	run.Run()
+	rec := run.Rec
 
-	fmt.Printf("bottleneck goodput per second (Mbps), %v at %.0f Mbps:\n", names, *rate/1e6)
+	fmt.Printf("bottleneck goodput per second (Mbps), %v at %.0f Mbps:\n", run.Names, *rate/1e6)
 	fmt.Printf("%6s", "t")
-	for _, n := range names {
+	for _, n := range run.Names {
 		fmt.Printf(" %12s", n)
 	}
 	fmt.Println()
@@ -142,17 +171,56 @@ func main() {
 	fmt.Printf("\n%d events captured, %d drops, %d marks\n",
 		rec.Len(), len(rec.Filter(-1, slowcc.TraceDrop)), len(rec.Filter(-1, slowcc.TraceMark)))
 
+	m := run.Manifest("slowcctrace")
+
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := rec.WriteTSV(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		writeOut(*out, func(f *os.File) error { return rec.WriteTSV(f) })
+		m.Outputs["trace"] = digestFile(*out)
 		fmt.Printf("trace written to %s\n", *out)
 	}
+	if *probe > 0 {
+		path := *probeOut
+		if path == "" && *out != "" {
+			path = *out + ".probes.tsv"
+		}
+		if path != "" {
+			writeOut(path, func(f *os.File) error { return run.Sampler.WriteTSV(f) })
+			m.Outputs["probes"] = digestFile(path)
+			fmt.Printf("%d probe samples written to %s\n", len(run.Sampler.Samples()), path)
+		}
+	}
+	if *manifest != "" {
+		if err := m.WriteFile(*manifest); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("manifest written to %s\n", *manifest)
+	}
+}
+
+// writeOut creates path and runs write against it, exiting on error.
+func writeOut(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := write(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// digestFile returns the sha256 of the file just written.
+func digestFile(path string) string {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return slowcc.DigestBytes(blob)
 }

@@ -12,6 +12,7 @@ import (
 
 	"slowcc/internal/cc"
 	"slowcc/internal/netem"
+	"slowcc/internal/obs/probe"
 	"slowcc/internal/sim"
 	"slowcc/internal/tcpmodel"
 )
@@ -96,6 +97,15 @@ func (s *Sender) RatePktsPerRTT() float64 { return s.w }
 // Rate returns the current sending rate in bytes per second.
 func (s *Sender) Rate() float64 {
 	return s.w * float64(s.cfg.PktSize) / s.rtt()
+}
+
+// ProbeVars implements probe.Provider: the sending rate (bytes/s) and
+// the AIMD window w it derives from (packets per RTT).
+func (s *Sender) ProbeVars() []probe.Var {
+	return []probe.Var{
+		{Name: "rate", Read: s.Rate},
+		{Name: "w", Read: s.RatePktsPerRTT},
+	}
 }
 
 func (s *Sender) rtt() sim.Time {

@@ -11,6 +11,7 @@ import (
 
 	"slowcc/internal/cc"
 	"slowcc/internal/netem"
+	"slowcc/internal/obs/probe"
 	"slowcc/internal/sim"
 	"slowcc/internal/tcpmodel"
 )
@@ -154,6 +155,17 @@ func (s *Sender) Cwnd() float64 { return s.cwnd }
 
 // SRTT returns the smoothed RTT estimate (zero before the first sample).
 func (s *Sender) SRTT() sim.Time { return s.srtt }
+
+// ProbeVars implements probe.Provider: the congestion window (packets)
+// and smoothed RTT (seconds) — the pair every windowed variant (TCP,
+// AIMD, the binomial family) is characterized by in the paper's
+// time-series figures.
+func (s *Sender) ProbeVars() []probe.Var {
+	return []probe.Var{
+		{Name: "cwnd", Read: s.Cwnd},
+		{Name: "srtt", Read: func() float64 { return float64(s.srtt) }},
+	}
+}
 
 // Done reports whether a short transfer has completed.
 func (s *Sender) Done() bool { return s.done }

@@ -15,6 +15,7 @@ import (
 
 	"slowcc/internal/cc"
 	"slowcc/internal/netem"
+	"slowcc/internal/obs/probe"
 	"slowcc/internal/sim"
 )
 
@@ -86,6 +87,16 @@ func (r *Receiver) Window() float64 { return r.cwnd }
 // SmoothedWindow returns the EWMA of the emulated window (0 before the
 // first fold).
 func (r *Receiver) SmoothedWindow() float64 { return r.smoothW }
+
+// ProbeVars implements probe.Provider: the TCP-compatible rate the
+// receiver reports upstream (bytes/s) and the emulated window driving
+// it (packets).
+func (r *Receiver) ProbeVars() []probe.Var {
+	return []probe.Var{
+		{Name: "rate", Read: r.Rate},
+		{Name: "cwnd", Read: r.Window},
+	}
+}
 
 func (r *Receiver) currentRTT() sim.Time {
 	if r.rtt > 0 {
@@ -221,6 +232,12 @@ func (s *Sender) Stats() *cc.SenderStats { return &s.st }
 
 // Rate returns the current paced rate in bytes/s.
 func (s *Sender) Rate() float64 { return s.rate }
+
+// ProbeVars implements probe.Provider: the paced sending rate (bytes/s)
+// the receiver's window reports have converged the sender to.
+func (s *Sender) ProbeVars() []probe.Var {
+	return []probe.Var{{Name: "rate", Read: s.Rate}}
+}
 
 // Start implements cc.Sender.
 func (s *Sender) Start() {

@@ -18,6 +18,7 @@ import (
 
 	"slowcc/internal/cc"
 	"slowcc/internal/netem"
+	"slowcc/internal/obs/probe"
 	"slowcc/internal/sim"
 	"slowcc/internal/tcpmodel"
 )
@@ -111,6 +112,13 @@ func (r *Receiver) LossEventRate() float64 {
 		return 0
 	}
 	return 1 / r.avgInterval()
+}
+
+// ProbeVars implements probe.Provider: the loss-event rate estimate p,
+// the receiver-side input to the TCP throughput equation (Figure 8's
+// lower panels trace exactly this signal).
+func (r *Receiver) ProbeVars() []probe.Var {
+	return []probe.Var{{Name: "p", Read: r.LossEventRate}}
 }
 
 // currentRTT returns the working RTT estimate for feedback scheduling

@@ -5,6 +5,7 @@ import (
 
 	"slowcc/internal/cc"
 	"slowcc/internal/netem"
+	"slowcc/internal/obs/probe"
 	"slowcc/internal/sim"
 	"slowcc/internal/tcpmodel"
 )
@@ -90,6 +91,16 @@ func (s *Sender) SRTT() sim.Time {
 		return s.srtt
 	}
 	return s.cfg.InitialRTT
+}
+
+// ProbeVars implements probe.Provider: the allowed sending rate
+// (bytes/s) and smoothed RTT (seconds). The loss-event rate the rate is
+// computed from lives on the Receiver.
+func (s *Sender) ProbeVars() []probe.Var {
+	return []probe.Var{
+		{Name: "rate", Read: s.Rate},
+		{Name: "srtt", Read: func() float64 { return float64(s.SRTT()) }},
+	}
 }
 
 // InSlowStart reports whether no loss has been reported yet.

@@ -28,6 +28,7 @@ func TCPAlgo(b float64) AlgoSpec {
 				Sender:    snd,
 				RecvBytes: func() int64 { return rcv.Stats().BytesRecv },
 				SentBytes: func() int64 { return snd.Stats().BytesSent },
+				Probes:    snd,
 			}
 		},
 	}
@@ -57,6 +58,7 @@ func binomialAlgo(name string, pol binomial.Policy) AlgoSpec {
 				Sender:    snd,
 				RecvBytes: func() int64 { return rcv.Stats().BytesRecv },
 				SentBytes: func() int64 { return snd.Stats().BytesSent },
+				Probes:    snd,
 			}
 		},
 	}
@@ -76,6 +78,7 @@ func RAPAlgo(b float64) AlgoSpec {
 				Sender:    snd,
 				RecvBytes: func() int64 { return rcv.Stats().BytesRecv },
 				SentBytes: func() int64 { return snd.Stats().BytesSent },
+				Probes:    snd,
 			}
 		},
 	}
@@ -110,6 +113,8 @@ func TFRCAlgo(o TFRCOpts) AlgoSpec {
 				Sender:    snd,
 				RecvBytes: func() int64 { return rcv.Stats().BytesRecv },
 				SentBytes: func() int64 { return snd.Stats().BytesSent },
+				// The loss-event rate p lives on the receiver.
+				Probes: probePair{snd, rcv},
 			}
 		},
 	}
@@ -138,6 +143,8 @@ func TEARAlgo(alpha float64) AlgoSpec {
 				Sender:    snd,
 				RecvBytes: func() int64 { return rcv.Stats().BytesRecv },
 				SentBytes: func() int64 { return snd.Stats().BytesSent },
+				// TEAR's window emulation runs at the receiver.
+				Probes: probePair{snd, rcv},
 			}
 		},
 	}
@@ -158,6 +165,7 @@ func ECNTCPAlgo(b float64) AlgoSpec {
 				Sender:    snd,
 				RecvBytes: func() int64 { return rcv.Stats().BytesRecv },
 				SentBytes: func() int64 { return snd.Stats().BytesSent },
+				Probes:    snd,
 			}
 		},
 	}
@@ -191,6 +199,7 @@ func SACKTCPAlgo(b float64) AlgoSpec {
 				Sender:    snd,
 				RecvBytes: func() int64 { return rcv.Stats().BytesRecv },
 				SentBytes: func() int64 { return snd.Stats().BytesSent },
+				Probes:    snd,
 			}
 		},
 	}

@@ -1,13 +1,17 @@
 package exp
 
 import (
+	"fmt"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"slowcc/internal/cc/rap"
 	"slowcc/internal/cc/tcp"
 	"slowcc/internal/cc/tear"
 	"slowcc/internal/cc/tfrc"
 	"slowcc/internal/invariant"
+	"slowcc/internal/obs"
 	"slowcc/internal/sim"
 	"slowcc/internal/topology"
 )
@@ -23,12 +27,19 @@ import (
 var audit struct {
 	mu         sync.Mutex
 	enabled    bool
+	flightDir  string // when non-empty, audited scenarios dump here
+	flightSeq  atomic.Int64
 	total      int64
 	violations []invariant.Violation // capped at auditMaxRecorded
 	auditors   map[*sim.Engine]*invariant.Auditor
 }
 
 const auditMaxRecorded = 200
+
+// flightRingSize bounds the per-scenario flight recorder: enough recent
+// bottleneck events to see the lead-up to a violation, small enough
+// that the audited figure suite's memory stays flat.
+const flightRingSize = 512
 
 // EnableAudit turns invariant auditing of figure-driver scenarios on or
 // off. It affects scenarios constructed after the call.
@@ -39,6 +50,21 @@ func EnableAudit(on bool) {
 	if on && audit.auditors == nil {
 		audit.auditors = make(map[*sim.Engine]*invariant.Auditor)
 	}
+}
+
+// EnableFlightDump makes every audited scenario keep a flight recorder
+// over its forward bottleneck and dump it into dir (as
+// flight-<n>.dump) when an invariant violation fires, so an audit
+// failure in the figure suite leaves the packet-level lead-up on disk
+// instead of only a counter. Empty dir disables it. Takes effect for
+// scenarios constructed after the call; requires audit mode. Returns
+// the previous directory so callers can restore it.
+func EnableFlightDump(dir string) (prev string) {
+	audit.mu.Lock()
+	defer audit.mu.Unlock()
+	prev = audit.flightDir
+	audit.flightDir = dir
+	return prev
 }
 
 // AuditViolations returns the number of invariant violations observed so
@@ -73,9 +99,11 @@ func newScenario(seed int64, tc topology.Config) (*sim.Engine, *topology.Dumbbel
 	eng := sim.New(seed)
 	audit.mu.Lock()
 	on := audit.enabled
+	flightDir := audit.flightDir
 	audit.mu.Unlock()
+	var a *invariant.Auditor
 	if on {
-		a := invariant.New(eng)
+		a = invariant.New(eng)
 		a.Report = recordAuditViolation
 		tc.Audit = a
 		audit.mu.Lock()
@@ -83,6 +111,13 @@ func newScenario(seed int64, tc topology.Config) (*sim.Engine, *topology.Dumbbel
 		audit.mu.Unlock()
 	}
 	d := topology.New(eng, tc)
+	if a != nil && flightDir != "" {
+		fr := obs.NewFlightRecorder(flightRingSize)
+		d.LR.AddTap(fr.LinkTap())
+		a.Flight = fr
+		a.DumpPath = filepath.Join(flightDir,
+			fmt.Sprintf("flight-%d.dump", audit.flightSeq.Add(1)))
+	}
 	return eng, d
 }
 

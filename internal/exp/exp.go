@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"slowcc/internal/cc"
+	"slowcc/internal/obs/probe"
 	"slowcc/internal/sim"
 	"slowcc/internal/topology"
 )
@@ -23,6 +24,25 @@ type Flow struct {
 	RecvBytes func() int64
 	// SentBytes reads the sender's cumulative byte counter.
 	SentBytes func() int64
+	// Probes exposes the flow's observable internals (cwnd, srtt, rate,
+	// loss event rate ...) for registration with an obs.Sampler; nil
+	// when the algorithm declares none. Reading the vars never perturbs
+	// the flow. A provider rather than an eager []probe.Var so wiring a
+	// flow costs no allocations when nobody samples it (the macro
+	// benchmark pins that).
+	Probes probe.Provider
+}
+
+// probePair merges two probe providers into one: the algorithms whose
+// observable state spans both endpoints (TFRC's loss-event rate and
+// TEAR's emulated window live at the receiver) expose sender then
+// receiver vars.
+type probePair struct {
+	snd, rcv probe.Provider
+}
+
+func (p probePair) ProbeVars() []probe.Var {
+	return append(p.snd.ProbeVars(), p.rcv.ProbeVars()...)
 }
 
 // AlgoSpec is a named congestion control algorithm that knows how to

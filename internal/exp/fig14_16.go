@@ -101,6 +101,7 @@ func Oscillation(cfg OscillationConfig) []OscillationPoint {
 func runOscillation(cfg OscillationConfig, algo AlgoSpec, period sim.Time) OscillationPoint {
 	eng, d := newScenario(cfg.Seed, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed})
 	mon := metrics.NewLossMonitor(0.5)
+	mon.EnsureHorizon(cfg.Warmup + cfg.Measure)
 	d.LR.AddTap(mon.Tap())
 
 	flows := make([]Flow, cfg.Flows)

@@ -88,6 +88,7 @@ func RunStabilization(cfg StabilizationConfig) StabilizationResult {
 	rtt := d.Cfg.PropRTT()
 
 	mon := metrics.NewLossMonitor(10 * rtt) // paper: average over ten RTTs
+	mon.EnsureHorizon(cfg.End)
 	d.LR.AddTap(mon.Tap())
 
 	flows := make([]Flow, cfg.Flows)

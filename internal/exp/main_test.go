@@ -13,18 +13,31 @@ import (
 // suite that passes its own assertions but breached any invariant still
 // fails here. Benchmarks (which live in the root package) construct
 // scenarios with auditing off and are unaffected.
+// Audited scenarios additionally keep a flight recorder over their
+// bottleneck: when a violation does fire, the packet-level lead-up is
+// dumped under flightDir instead of being lost with the process.
 func TestMain(m *testing.M) {
+	flightDir, dirErr := os.MkdirTemp("", "slowcc-flight-")
+	if dirErr == nil {
+		EnableFlightDump(flightDir)
+	}
 	EnableAudit(true)
 	code := m.Run()
 	EnableAudit(false)
+	EnableFlightDump("")
 	if total, vs := AuditViolations(); total > 0 {
 		fmt.Fprintf(os.Stderr, "invariant: %d violation(s) during the exp suite:\n", total)
 		for _, v := range vs {
 			fmt.Fprintf(os.Stderr, "  %s\n", v)
 		}
+		if dirErr == nil {
+			fmt.Fprintf(os.Stderr, "flight dumps (if any): %s\n", flightDir)
+		}
 		if code == 0 {
 			code = 1
 		}
+	} else if dirErr == nil {
+		os.RemoveAll(flightDir)
 	}
 	os.Exit(code)
 }

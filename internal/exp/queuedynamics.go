@@ -85,6 +85,7 @@ func QueueDynamics(cfg QueueDynamicsConfig) []QueueDynamicsResult {
 func runQueueDynamics(cfg QueueDynamicsConfig, algo AlgoSpec) QueueDynamicsResult {
 	eng, d := newScenario(cfg.Seed, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed, DropTail: cfg.DropTail})
 	lossMon := metrics.NewLossMonitor(0.5)
+	lossMon.EnsureHorizon(cfg.Warmup + cfg.Measure)
 	d.LR.AddTap(lossMon.Tap())
 	qMon := metrics.NewQueueMonitor(eng, cfg.SamplePeriod, d.LR.Q.Len)
 

@@ -1,0 +1,119 @@
+package exp
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"slowcc/internal/obs"
+	"slowcc/internal/sim"
+	"slowcc/internal/topology"
+	"slowcc/internal/trace"
+)
+
+// TraceRunConfig describes one ad-hoc traced run: a mix of flows on the
+// paper's dumbbell with packet tracing, optional state probes, and a
+// counter registry. It is the engine behind cmd/slowcctrace, factored
+// here so tests drive exactly the code path the CLI does.
+type TraceRunConfig struct {
+	// Seed seeds the engine and queue RNGs (default 1).
+	Seed int64
+	// Rate is the bottleneck bandwidth in bits/s (default 10 Mbps).
+	Rate float64
+	// Duration is the simulated horizon in seconds (default 30).
+	Duration sim.Time
+	// ECN selects an ECN-marking bottleneck.
+	ECN bool
+	// Algos wires one forward flow per entry; flow IDs are 1..len.
+	Algos []AlgoSpec
+	// ProbeInterval is the state-sampling cadence in seconds; <= 0
+	// disables probing (the sampler hook is still installed, so the
+	// disabled path is exercised — and benchmarked — exactly as wired).
+	ProbeInterval sim.Time
+}
+
+func (c *TraceRunConfig) fill() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Rate == 0 {
+		c.Rate = 10e6
+	}
+	if c.Duration == 0 {
+		c.Duration = 30
+	}
+}
+
+// TraceRun is a wired traced scenario. Construct with NewTraceRun, call
+// Run, then read the Recorder, Sampler, and Manifest.
+type TraceRun struct {
+	Cfg      TraceRunConfig
+	Eng      *sim.Engine
+	D        *topology.Dumbbell
+	Rec      *trace.Recorder
+	Sampler  *obs.Sampler
+	Registry *obs.Registry
+	Flows    []Flow
+	// Names are the algorithm names, flow order.
+	Names []string
+
+	started time.Time
+	ran     bool
+}
+
+// NewTraceRun builds the scenario: dumbbell, flows, a bottleneck packet
+// trace, a sampler over every flow's probe variables (and the RED
+// queues), and a counter registry over the core. Nothing runs yet.
+func NewTraceRun(cfg TraceRunConfig) *TraceRun {
+	cfg.fill()
+	eng := sim.New(cfg.Seed)
+	d := topology.New(eng, topology.Config{Rate: cfg.Rate, ECN: cfg.ECN, Seed: cfg.Seed})
+
+	r := &TraceRun{
+		Cfg:      cfg,
+		Eng:      eng,
+		D:        d,
+		Rec:      &trace.Recorder{},
+		Sampler:  obs.NewSampler(cfg.ProbeInterval),
+		Registry: &obs.Registry{},
+	}
+	d.LR.AddTap(r.Rec.LinkTap())
+	d.Observe(r.Registry)
+
+	for i, algo := range cfg.Algos {
+		f := algo.Make(eng, d, i+1)
+		r.Flows = append(r.Flows, f)
+		r.Names = append(r.Names, algo.Name)
+		r.Sampler.Add(fmt.Sprintf("flow%d.%s", i+1, algo.Name), f.Probes)
+		eng.At(0, f.Sender.Start)
+	}
+	d.ObserveProbes(r.Sampler)
+	r.Sampler.Install(eng)
+	return r
+}
+
+// Run executes the scenario to its horizon.
+func (r *TraceRun) Run() {
+	r.started = time.Now()
+	r.Eng.RunUntil(r.Cfg.Duration)
+	r.ran = true
+}
+
+// Manifest returns the run's manifest: configuration, algorithms, event
+// count, a counter snapshot, and wall time. Output digests are the
+// caller's to add (it knows what files it wrote) before sealing via
+// WriteFile/Encode.
+func (r *TraceRun) Manifest(tool string) *obs.Manifest {
+	m := obs.NewManifest(tool, r.Cfg.Seed)
+	m.DurationS = float64(r.Cfg.Duration)
+	m.Algos = append([]string{}, r.Names...)
+	m.Config["rate_bps"] = strconv.FormatFloat(r.Cfg.Rate, 'g', -1, 64)
+	m.Config["ecn"] = strconv.FormatBool(r.Cfg.ECN)
+	m.Config["probe_interval_s"] = strconv.FormatFloat(float64(r.Cfg.ProbeInterval), 'g', -1, 64)
+	m.Events = r.Eng.Steps()
+	m.Counters = r.Registry.Snapshot()
+	if r.ran {
+		m.WallTimeS = time.Since(r.started).Seconds()
+	}
+	return m
+}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"slowcc/internal/netem"
+	"slowcc/internal/obs"
 	"slowcc/internal/sim"
 )
 
@@ -63,6 +64,14 @@ type Auditor struct {
 	// Report, when non-nil, is additionally invoked for every violation
 	// (including ones beyond MaxViolations).
 	Report func(Violation)
+	// Flight, when non-nil, receives a note for every violation, and the
+	// first violation triggers a post-mortem dump to DumpPath (when set)
+	// so an audit failure leaves the packet-and-probe context on disk
+	// instead of just a counter. See obs.FlightRecorder.
+	Flight *obs.FlightRecorder
+	// DumpPath is where the flight recorder is dumped on the first
+	// violation. Empty disables the dump (notes are still added).
+	DumpPath string
 
 	// Total counts every violation observed, recorded or not.
 	Total int64
@@ -144,6 +153,14 @@ func (a *Auditor) record(kind, name, format string, args ...any) {
 	}
 	if a.Report != nil {
 		a.Report(v)
+	}
+	if a.Flight != nil {
+		a.Flight.AddNote(v.Time, "violation "+v.String())
+		if a.Total == 1 && a.DumpPath != "" {
+			// Dump on the first breach, while the ring still holds the
+			// lead-up; later violations are usually cascade noise.
+			_ = a.Flight.DumpFile(a.DumpPath, "invariant violation: "+v.String())
+		}
 	}
 }
 

@@ -23,18 +23,38 @@ type LossMonitor struct {
 	drops    []int64
 }
 
-// NewLossMonitor returns a monitor with the given bin width.
+// NewLossMonitor returns a monitor with the given bin width. Callers
+// that know the run horizon should follow with EnsureHorizon so the
+// per-packet tap never grows the bin arrays.
 func NewLossMonitor(width sim.Time) *LossMonitor {
 	return &LossMonitor{Width: width}
+}
+
+// EnsureHorizon pre-sizes the bin arrays to cover [0, t], so every tap
+// invocation inside the horizon is two counter increments with no
+// growth check taken. Safe to call at any point; it never shrinks.
+func (m *LossMonitor) EnsureHorizon(t sim.Time) {
+	if m.Width <= 0 || t <= 0 {
+		return
+	}
+	m.grow(int(t / m.Width))
+}
+
+// grow extends the bin arrays through index i (amortized doubling, so
+// un-pre-sized monitors keep linear total growth cost).
+func (m *LossMonitor) grow(i int) {
+	for len(m.arrivals) <= i {
+		m.arrivals = append(m.arrivals, 0)
+		m.drops = append(m.drops, 0)
+	}
 }
 
 // Tap returns the link tap feeding this monitor.
 func (m *LossMonitor) Tap() netem.Tap {
 	return func(p *netem.Packet, accepted bool, now sim.Time) {
 		i := int(now / m.Width)
-		for len(m.arrivals) <= i {
-			m.arrivals = append(m.arrivals, 0)
-			m.drops = append(m.drops, 0)
+		if i >= len(m.arrivals) {
+			m.grow(i)
 		}
 		m.arrivals[i]++
 		if !accepted {

@@ -37,6 +37,56 @@ func TestLossMonitorBinning(t *testing.T) {
 	}
 }
 
+func TestLossMonitorEnsureHorizon(t *testing.T) {
+	m := NewLossMonitor(0.5)
+	if m.Bins() != 0 {
+		t.Fatalf("fresh monitor has %d bins, want 0", m.Bins())
+	}
+	m.EnsureHorizon(10)
+	// [0,10] at width 0.5 is bins 0..20 inclusive.
+	if m.Bins() != 21 {
+		t.Fatalf("Bins after EnsureHorizon(10) = %d, want 21", m.Bins())
+	}
+	// Pre-sized but untouched bins read 0, in and out of range.
+	for _, i := range []int{0, 7, 20, 21, -1} {
+		if got := m.Rate(i); got != 0 {
+			t.Fatalf("Rate(%d) on unseen bin = %v, want 0", i, got)
+		}
+	}
+	if got := m.RateOver(0, 10); got != 0 {
+		t.Fatalf("RateOver on unseen monitor = %v, want 0", got)
+	}
+	// Never shrinks; no-ops on nonsense arguments.
+	m.EnsureHorizon(1)
+	m.EnsureHorizon(0)
+	m.EnsureHorizon(-5)
+	if m.Bins() != 21 {
+		t.Fatalf("Bins shrank to %d", m.Bins())
+	}
+	// Taps inside the horizon land without growth; outside still grows.
+	tap := m.Tap()
+	p := &netem.Packet{Size: 1000}
+	tap(p, false, 9.9)
+	if m.Bins() != 21 {
+		t.Fatalf("in-horizon tap grew bins to %d", m.Bins())
+	}
+	if got := m.Rate(19); got != 1 {
+		t.Fatalf("Rate(19) = %v, want 1", got)
+	}
+	tap(p, true, 15.2)
+	if m.Bins() != 31 {
+		t.Fatalf("out-of-horizon tap grew bins to %d, want 31", m.Bins())
+	}
+}
+
+func TestLossMonitorEnsureHorizonZeroWidth(t *testing.T) {
+	m := &LossMonitor{}
+	m.EnsureHorizon(10) // Width 0 must not divide by zero or spin
+	if m.Bins() != 0 {
+		t.Fatalf("zero-width monitor grew to %d bins", m.Bins())
+	}
+}
+
 func TestStabilizationImmediate(t *testing.T) {
 	m := NewLossMonitor(0.5)
 	tap := m.Tap()

@@ -33,8 +33,12 @@ type PacketPool struct {
 	// Gets and Puts count pool traffic (including fallback allocations
 	// when the free list is empty); Live = Gets - Puts is the number of
 	// packets currently owned by the simulation. Tests use the balance to
-	// prove every packet is released exactly once.
-	Gets, Puts int64
+	// prove every packet is released exactly once. Reuses counts the
+	// subset of Gets served from the free list (Gets - Reuses is the
+	// number of heap allocations), and GuardTrips counts double-release
+	// attempts caught by Put's ownership guard — it is incremented
+	// before the panic so a flight-recorder dump sees it.
+	Gets, Puts, Reuses, GuardTrips int64
 }
 
 // Get returns a zeroed packet, reusing a released one when available.
@@ -44,6 +48,7 @@ func (pp *PacketPool) Get() *Packet {
 	}
 	pp.Gets++
 	if n := len(pp.free); n > 0 {
+		pp.Reuses++
 		p := pp.free[n-1]
 		pp.free[n-1] = nil
 		pp.free = pp.free[:n-1]
@@ -61,6 +66,7 @@ func (pp *PacketPool) Put(p *Packet) {
 		return
 	}
 	if p.pooled {
+		pp.GuardTrips++
 		panic("netem: packet released twice")
 	}
 	pp.Puts++

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 
+	"slowcc/internal/obs/probe"
 	"slowcc/internal/sim"
 )
 
@@ -73,6 +74,35 @@ func NewRED(minTh, maxTh float64, capPkts int, meanPktTime sim.Time, rng *rand.R
 
 // Avg returns the current EWMA of the queue size, in packets.
 func (r *RED) Avg() float64 { return r.avg }
+
+// DropProb returns the marking probability pb implied by the current
+// average queue size: 0 below MinThresh, the linear ramp to MaxP at
+// MaxThresh, the gentle extension to 1 at 2*MaxThresh when enabled, and
+// 1 in the forced-drop region. It reads the same state Enqueue uses but
+// consumes no randomness, so sampling it cannot perturb a run.
+func (r *RED) DropProb() float64 {
+	switch {
+	case r.avg < r.MinThresh:
+		return 0
+	case r.avg < r.MaxThresh:
+		return r.MaxP * (r.avg - r.MinThresh) / (r.MaxThresh - r.MinThresh)
+	case r.Gentle && r.avg < 2*r.MaxThresh:
+		return r.MaxP + (1-r.MaxP)*(r.avg-r.MaxThresh)/r.MaxThresh
+	default:
+		return 1
+	}
+}
+
+// ProbeVars implements probe.Provider: the EWMA average queue size, the
+// instantaneous queue length, and the current drop probability — the
+// three internal signals RED's dynamics are described by.
+func (r *RED) ProbeVars() []probe.Var {
+	return []probe.Var{
+		{Name: "avg", Read: r.Avg},
+		{Name: "qlen", Read: func() float64 { return float64(r.q.n) }},
+		{Name: "drop_prob", Read: r.DropProb},
+	}
+}
 
 // Enqueue implements Queue.
 func (r *RED) Enqueue(p *Packet, now sim.Time) bool {

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"slowcc/internal/netem"
+	"slowcc/internal/sim"
+)
+
+// Counter is one named monotonic counter. Read returns its current
+// value; the closure is bound once at registration, so reading a
+// snapshot allocates nothing beyond the snapshot map itself.
+type Counter struct {
+	Name string
+	Read func() int64
+}
+
+// Registry collects named monotonic counters from the simulator core.
+// The components themselves keep maintaining plain integer fields on
+// their hot paths (LinkStats, RED drop splits, pool traffic, the
+// engine's scheduler counters) exactly as before; the registry only
+// holds read closures over them, so registering costs a few small
+// allocations at setup time and nothing per event.
+//
+// Counter names are dot-separated, component first:
+//
+//	engine.scheduled  engine.fired     engine.rearms      engine.stops
+//	link.<name>.arrivals  link.<name>.drops  link.<name>.departures  link.<name>.bytes
+//	red.<name>.early_drops  red.<name>.forced_drops  red.<name>.marks
+//	pool.gets  pool.puts  pool.reuses  pool.guard_trips
+type Registry struct {
+	counters []Counter
+}
+
+// Register adds one counter. Later registrations with the same name are
+// kept too (Snapshot takes the last), but callers should treat names as
+// unique.
+func (g *Registry) Register(name string, read func() int64) {
+	if read == nil {
+		return
+	}
+	g.counters = append(g.counters, Counter{Name: name, Read: read})
+}
+
+// AddEngine registers the scheduler counters of e.
+func (g *Registry) AddEngine(e *sim.Engine) {
+	g.Register("engine.scheduled", func() int64 { return int64(e.Scheduled()) })
+	g.Register("engine.fired", func() int64 { return int64(e.Steps()) })
+	g.Register("engine.rearms", func() int64 { return int64(e.Rearms()) })
+	g.Register("engine.stops", func() int64 { return int64(e.Stops()) })
+}
+
+// AddLink registers the traffic counters of l under link.<name>.*, and,
+// when the link's queue is RED, its drop-split counters under
+// red.<name>.*.
+func (g *Registry) AddLink(name string, l *netem.Link) {
+	g.Register("link."+name+".arrivals", func() int64 { return l.Stats.Arrivals })
+	g.Register("link."+name+".drops", func() int64 { return l.Stats.Drops })
+	g.Register("link."+name+".departures", func() int64 { return l.Stats.Departures })
+	g.Register("link."+name+".bytes", func() int64 { return l.Stats.Bytes })
+	if r, ok := l.Q.(*netem.RED); ok {
+		g.AddRED(name, r)
+	}
+}
+
+// AddRED registers the RED drop-split counters of r under red.<name>.*.
+func (g *Registry) AddRED(name string, r *netem.RED) {
+	g.Register("red."+name+".early_drops", func() int64 { return r.EarlyDrops })
+	g.Register("red."+name+".forced_drops", func() int64 { return r.ForcedDrops })
+	g.Register("red."+name+".marks", func() int64 { return r.Marks })
+}
+
+// AddPool registers the packet-pool traffic counters (nil pool: all
+// zero, matching the pool's own nil semantics).
+func (g *Registry) AddPool(pp *netem.PacketPool) {
+	g.Register("pool.gets", func() int64 {
+		if pp == nil {
+			return 0
+		}
+		return pp.Gets
+	})
+	g.Register("pool.puts", func() int64 {
+		if pp == nil {
+			return 0
+		}
+		return pp.Puts
+	})
+	g.Register("pool.reuses", func() int64 {
+		if pp == nil {
+			return 0
+		}
+		return pp.Reuses
+	})
+	g.Register("pool.guard_trips", func() int64 {
+		if pp == nil {
+			return 0
+		}
+		return pp.GuardTrips
+	})
+}
+
+// Snapshot reads every counter into a name->value map.
+func (g *Registry) Snapshot() map[string]int64 {
+	out := make(map[string]int64, len(g.counters))
+	for _, c := range g.counters {
+		out[c.Name] = c.Read()
+	}
+	return out
+}
+
+// WriteTo writes the current values, one "name\tvalue" row per counter
+// in sorted name order, and returns the byte count (io.WriterTo).
+func (g *Registry) WriteTo(w io.Writer) (int64, error) {
+	snap := g.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	bw := bufio.NewWriter(w)
+	var total int64
+	for _, n := range names {
+		k, err := fmt.Fprintf(bw, "%s\t%d\n", n, snap[n])
+		total += int64(k)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}

@@ -1,0 +1,454 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"slowcc/internal/netem"
+	"slowcc/internal/obs/probe"
+	"slowcc/internal/sim"
+)
+
+// --- Sampler ---
+
+func TestSamplerCadence(t *testing.T) {
+	eng := sim.New(1)
+	x := 0.0
+	s := NewSampler(1.0)
+	s.AddVars("p", []probe.Var{{Name: "x", Read: func() float64 { return x }}})
+	s.Install(eng)
+
+	// Events at 0.5, 1.5, 2.5, ..., each bumping x AFTER the tick at or
+	// below it has sampled, so tick k must see the value as of the
+	// inter-event boundary before the event at k+0.5.
+	for i := 0; i < 5; i++ {
+		eng.At(float64(i)+0.5, func() { x += 1 })
+	}
+	eng.RunUntil(10)
+
+	ts, vs := s.Series("p", "x")
+	// Tick 0 fires before the event at 0.5 (x=0), tick k before the event
+	// at k+0.5 (x=k). Tick 5 never fires: the last event is at 4.5 and the
+	// sampler piggybacks on events, it adds none of its own.
+	if len(ts) != 5 {
+		t.Fatalf("sampled %d ticks %v, want 5", len(ts), ts)
+	}
+	for i := range ts {
+		if ts[i] != float64(i) {
+			t.Fatalf("tick %d at t=%v, want %d", i, ts[i], i)
+		}
+		if vs[i] != float64(i) {
+			t.Fatalf("tick %d read %v, want %d (state as of the boundary)", i, vs[i], i)
+		}
+	}
+}
+
+func TestSamplerCatchUpAcrossQuietGaps(t *testing.T) {
+	eng := sim.New(1)
+	s := NewSampler(1.0)
+	s.AddVars("p", []probe.Var{{Name: "x", Read: func() float64 { return 7 }}})
+	s.Install(eng)
+	// One event at 0.1, then silence until 5.3: the event at 5.3 must
+	// emit the ticks 1..5 it crossed, each stamped with its own tick time.
+	eng.At(0.1, func() {})
+	eng.At(5.3, func() {})
+	eng.RunUntil(10)
+	ts, _ := s.Series("p", "x")
+	want := []sim.Time{0, 1, 2, 3, 4, 5}
+	if len(ts) != len(want) {
+		t.Fatalf("ticks %v, want %v", ts, want)
+	}
+	for i := range want {
+		if ts[i] != want[i] {
+			t.Fatalf("ticks %v, want %v", ts, want)
+		}
+	}
+}
+
+func TestSamplerDisabled(t *testing.T) {
+	eng := sim.New(1)
+	s := NewSampler(0)
+	s.AddVars("p", []probe.Var{{Name: "x", Read: func() float64 { return 1 }}})
+	s.Install(eng)
+	for i := 0; i < 10; i++ {
+		eng.At(float64(i), func() {})
+	}
+	eng.RunUntil(20)
+	if len(s.Samples()) != 0 {
+		t.Fatalf("disabled sampler recorded %d samples", len(s.Samples()))
+	}
+}
+
+func TestSamplerSkipsNilReadsAndProviders(t *testing.T) {
+	s := NewSampler(1)
+	s.Add("none", nil)
+	s.AddVars("p", []probe.Var{{Name: "dead", Read: nil}, {Name: "live", Read: func() float64 { return 3 }}})
+	s.sampleAt(0)
+	smp := s.Samples()
+	if len(smp) != 1 || smp[0].Var != "live" || smp[0].Value != 3 {
+		t.Fatalf("samples %v, want one live var", smp)
+	}
+	if names := s.ProbeNames(); len(names) != 1 || names[0] != "p/live" {
+		t.Fatalf("ProbeNames %v", names)
+	}
+}
+
+func TestSamplerTSVRoundTrip(t *testing.T) {
+	s := NewSampler(1)
+	s.AddVars("flow1.TCP(1/2)", []probe.Var{
+		{Name: "cwnd", Read: func() float64 { return 12.5 }},
+		{Name: "srtt", Read: func() float64 { return 0.052 }},
+	})
+	s.sampleAt(0)
+	s.sampleAt(1)
+	var buf bytes.Buffer
+	if err := s.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSamplesTSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.Samples()
+	if len(got) != len(want) {
+		t.Fatalf("round trip: %d samples, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadSamplesTSVRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"not\ta\tprobe\theader\n",
+		"t\tprobe\tvar\tvalue\ntoo\tfew\tfields\n",
+		"t\tprobe\tvar\tvalue\nNaNope\tp\tx\t1\n",
+		"t\tprobe\tvar\tvalue\n1.0\tp\tx\tnope\n",
+	} {
+		if _, err := ReadSamplesTSV(strings.NewReader(in)); err == nil {
+			t.Fatalf("accepted garbage %q", in)
+		}
+	}
+	// Empty body after a valid header is fine.
+	got, err := ReadSamplesTSV(strings.NewReader("t\tprobe\tvar\tvalue\n"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("header-only TSV: %v, %v", got, err)
+	}
+}
+
+func TestSamplerMirrorsIntoFlightRecorder(t *testing.T) {
+	fr := NewFlightRecorder(16)
+	s := NewSampler(1)
+	s.Flight = fr
+	s.AddVars("p", []probe.Var{{Name: "x", Read: func() float64 { return 9 }}})
+	s.sampleAt(2)
+	recs := fr.Records()
+	if len(recs) != 1 || recs[0].Kind != FlightSample || recs[0].Probe != "p" || recs[0].Value != 9 || recs[0].T != 2 {
+		t.Fatalf("flight mirror %+v", recs)
+	}
+}
+
+// --- Registry ---
+
+func TestRegistrySnapshotAndWriteTo(t *testing.T) {
+	var g Registry
+	n := int64(41)
+	g.Register("custom.count", func() int64 { return n })
+	g.Register("dead", nil) // ignored
+	g.AddPool(nil)          // nil pool reads all-zero
+	n++
+
+	snap := g.Snapshot()
+	if snap["custom.count"] != 42 {
+		t.Fatalf("snapshot read %d, want live value 42", snap["custom.count"])
+	}
+	for _, k := range []string{"pool.gets", "pool.puts", "pool.reuses", "pool.guard_trips"} {
+		if v, ok := snap[k]; !ok || v != 0 {
+			t.Fatalf("nil pool counter %s = %d, %v", k, v, ok)
+		}
+	}
+	if _, ok := snap["dead"]; ok {
+		t.Fatal("nil-read counter registered")
+	}
+
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("WriteTo rows %d: %q", len(lines), buf.String())
+	}
+	// Sorted: custom.count first, then pool.*.
+	if lines[0] != "custom.count\t42" {
+		t.Fatalf("first row %q", lines[0])
+	}
+	for i := 1; i < len(lines); i++ {
+		if lines[i] <= lines[i-1] {
+			t.Fatalf("rows not sorted: %q", lines)
+		}
+	}
+}
+
+func TestRegistryEngineAndREDLink(t *testing.T) {
+	eng := sim.New(1)
+	q := netem.NewRED(5, 15, 50, 0.0008, eng.Rand())
+	sink := netem.HandlerFunc(func(p *netem.Packet) {})
+	l := netem.NewLink(eng, 10e6, 0.01, q, sink)
+
+	var g Registry
+	g.AddEngine(eng)
+	g.AddLink("lr", l)
+
+	l.Send(&netem.Packet{Flow: 1, Size: 1000})
+	eng.At(1, func() {})
+	eng.RunUntil(2)
+
+	snap := g.Snapshot()
+	if snap["link.lr.arrivals"] != 1 {
+		t.Fatalf("link.lr.arrivals = %d, want 1", snap["link.lr.arrivals"])
+	}
+	if snap["link.lr.departures"] != 1 || snap["link.lr.bytes"] != 1000 {
+		t.Fatalf("departures=%d bytes=%d", snap["link.lr.departures"], snap["link.lr.bytes"])
+	}
+	// RED queue registers its drop split alongside the link counters.
+	for _, k := range []string{"red.lr.early_drops", "red.lr.forced_drops", "red.lr.marks"} {
+		if _, ok := snap[k]; !ok {
+			t.Fatalf("missing %s in %v", k, snap)
+		}
+	}
+	if snap["engine.scheduled"] == 0 || snap["engine.fired"] == 0 {
+		t.Fatalf("engine counters not wired: %v", snap)
+	}
+	if snap["engine.fired"] != int64(eng.Steps()) {
+		t.Fatalf("engine.fired %d != Steps %d", snap["engine.fired"], eng.Steps())
+	}
+}
+
+// --- FlightRecorder ---
+
+func TestFlightRecorderRingWrap(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	for i := 0; i < 6; i++ {
+		fr.AddPacket(float64(i), OpRecv, 1, 0, int64(i), 1000)
+	}
+	if fr.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", fr.Total())
+	}
+	recs := fr.Records()
+	if len(recs) != 4 {
+		t.Fatalf("retained %d, want 4", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != int64(i+2) {
+			t.Fatalf("Records()[%d].Seq = %d, want %d", i, r.Seq, i+2)
+		}
+	}
+}
+
+func TestFlightRecorderMinimumCapacity(t *testing.T) {
+	fr := NewFlightRecorder(0)
+	fr.AddNote(1, "a")
+	fr.AddNote(2, "b")
+	recs := fr.Records()
+	if len(recs) != 1 || recs[0].Note != "b" {
+		t.Fatalf("capacity clamp: %+v", recs)
+	}
+}
+
+func TestFlightRecorderLinkTapClassification(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	tap := fr.LinkTap()
+	tap(&netem.Packet{Flow: 1, Seq: 0, Size: 1000}, true, 0.5)
+	tap(&netem.Packet{Flow: 1, Seq: 1, Size: 1000}, false, 0.6)
+	tap(&netem.Packet{Flow: 1, Seq: 2, Size: 1000, CE: true}, true, 0.7)
+	recs := fr.Records()
+	if recs[0].Op != OpRecv || recs[1].Op != OpDrop || recs[2].Op != OpMark {
+		t.Fatalf("ops %v %v %v, want recv/drop/mark", recs[0].Op, recs[1].Op, recs[2].Op)
+	}
+}
+
+func TestPacketOpStrings(t *testing.T) {
+	for op, want := range map[PacketOp]string{OpSend: "send", OpRecv: "recv", OpDrop: "drop", OpMark: "mark", PacketOp(99): "?"} {
+		if op.String() != want {
+			t.Fatalf("PacketOp(%d) = %q, want %q", op, op.String(), want)
+		}
+	}
+}
+
+func TestFlightDumpFormat(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	fr.AddPacket(1.25, OpDrop, 2, 0, 77, 1000)
+	fr.AddSample(Sample{T: 2, Probe: "flow1.tcp", Var: "cwnd", Value: 8.5})
+	fr.AddNote(3, "violation X")
+	var buf bytes.Buffer
+	if err := fr.Dump(&buf, "test reason"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"slowcc flight recorder dump\n",
+		"reason: test reason\n",
+		"retained: 3 of 3 records\n",
+		"1.250000\tpkt\tdrop\tflow=2 kind=0 seq=77 size=1000\n",
+		"2.000000\tprobe\tflow1.tcp/cwnd\t8.5\n",
+		"3.000000\tnote\tviolation X\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestArmCrashDumpWritesFileBeforePanic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "crash.dump")
+	eng := sim.New(1)
+	fr := NewFlightRecorder(8)
+	fr.AddPacket(0, OpSend, 1, 0, 0, 1000)
+	ArmCrashDump(eng, fr, path)
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("scheduling at NaN did not panic")
+			}
+		}()
+		eng.At(math.NaN(), func() {})
+	}()
+
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("crash dump not written: %v", err)
+	}
+	out := string(blob)
+	if !strings.Contains(out, "non-finite") {
+		t.Fatalf("dump reason missing: %s", out)
+	}
+	if !strings.Contains(out, "pkt\tsend") || !strings.Contains(out, "note\tengine panic:") {
+		t.Fatalf("dump content missing packet or panic note:\n%s", out)
+	}
+}
+
+// --- Manifest ---
+
+func fillManifest(m *Manifest) {
+	m.DurationS = 30
+	m.Algos = []string{"TCP(1/2)", "TFRC(8)"}
+	m.Config["rate_bps"] = "1e+07"
+	m.Events = 403989
+	m.Counters["engine.fired"] = 403989
+	m.Outputs["trace"] = DigestBytes([]byte("trace body"))
+}
+
+func TestManifestDigestIgnoresWallTime(t *testing.T) {
+	a := NewManifest("slowcctrace", 1)
+	b := NewManifest("slowcctrace", 1)
+	fillManifest(a)
+	fillManifest(b)
+	a.WallTimeS = 1.5
+	b.WallTimeS = 99.25
+	if a.ComputeDigest() != b.ComputeDigest() {
+		t.Fatal("digest depends on wall time")
+	}
+	b.Seed = 2
+	if a.ComputeDigest() == b.ComputeDigest() {
+		t.Fatal("digest ignores the seed")
+	}
+}
+
+func TestManifestWriteReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	m := NewManifest("slowcctrace", 1)
+	fillManifest(m)
+	m.WallTimeS = 0.25
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Digest == "" || got.Digest != m.Digest {
+		t.Fatalf("digest %q vs %q", got.Digest, m.Digest)
+	}
+	if got.Tool != "slowcctrace" || got.Events != 403989 || got.Counters["engine.fired"] != 403989 {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+}
+
+func TestReadManifestRejectsTampering(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	m := NewManifest("slowcctrace", 1)
+	fillManifest(m)
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := os.ReadFile(path)
+	tampered := bytes.Replace(blob, []byte(`"events": 403989`), []byte(`"events": 403990`), 1)
+	if bytes.Equal(blob, tampered) {
+		t.Fatal("tamper target not found")
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(path); err == nil || !strings.Contains(err.Error(), "digest mismatch") {
+		t.Fatalf("tampered manifest accepted (err=%v)", err)
+	}
+}
+
+// --- Report ---
+
+func TestRenderReport(t *testing.T) {
+	a := NewManifest("slowcctrace", 1)
+	fillManifest(a)
+	a.Seal()
+	b := NewManifest("slowccsim", 7)
+	b.DurationS = 60
+	b.Events = 12
+	b.Counters["only.in.b"] = 3
+	b.Seal()
+
+	samples := [][]Sample{
+		{
+			{T: 0, Probe: "flow1.tcp", Var: "cwnd", Value: 2},
+			{T: 1, Probe: "flow1.tcp", Var: "cwnd", Value: 6},
+		},
+		nil,
+	}
+	out := RenderReport([]*Manifest{a, b}, samples)
+
+	for _, want := range []string{
+		"tool", "slowcctrace", "slowccsim",
+		"403989",
+		"config.rate_bps",
+		"only.in.b",
+		"probes (slowcctrace):",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	// The probe summary row, ignoring column padding: n=2, min=2, mean=4,
+	// max=6, last=6.
+	probeRow := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "flow1.tcp/cwnd") {
+			probeRow = strings.Join(strings.Fields(line), " ")
+		}
+	}
+	if probeRow != "flow1.tcp/cwnd 2 2 4 6 6" {
+		t.Fatalf("probe summary row %q", probeRow)
+	}
+	// A counter absent from one run renders as "-" in its column.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "only.in.b") && !strings.Contains(line, "-") {
+			t.Fatalf("missing-counter placeholder absent: %q", line)
+		}
+	}
+}

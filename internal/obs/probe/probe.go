@@ -1,0 +1,29 @@
+// Package probe defines the minimal vocabulary shared between the
+// observability layer (internal/obs) and the components it observes.
+//
+// It is a dependency-free leaf package on purpose: netem, the cc
+// endpoints, and topology all implement Provider, while internal/obs
+// (which transitively imports netem through the trace tooling) consumes
+// it — putting the interface here keeps the import graph acyclic.
+//
+// A Var is a named, readable scalar. Providers return their vars once at
+// registration time; the Read closures are then invoked on every
+// sampling tick, so they must be cheap (a field read, not a
+// computation over history) and must not mutate the component.
+package probe
+
+// Var is one observable scalar exposed by a component: a congestion
+// window, a smoothed RTT, a send rate, a queue average. Name is the
+// variable's short identifier within its owning probe (e.g. "cwnd",
+// "srtt", "rate", "p"); the sampler qualifies it with the probe name.
+type Var struct {
+	Name string
+	Read func() float64
+}
+
+// Provider is implemented by components that expose internal state for
+// periodic sampling. ProbeVars is called once, at registration; the
+// returned slice (and the closures in it) are retained by the sampler.
+type Provider interface {
+	ProbeVars() []Var
+}

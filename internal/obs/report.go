@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// seriesStat summarizes one probe variable's time series.
+type seriesStat struct {
+	key                  string
+	n                    int
+	min, max, mean, last float64
+}
+
+// summarize folds samples into per-"probe/var" statistics, sorted by
+// key.
+func summarize(samples []Sample) []seriesStat {
+	idx := map[string]int{}
+	var stats []seriesStat
+	for _, s := range samples {
+		k := s.Probe + "/" + s.Var
+		i, ok := idx[k]
+		if !ok {
+			i = len(stats)
+			idx[k] = i
+			stats = append(stats, seriesStat{key: k, min: s.Value, max: s.Value})
+		}
+		st := &stats[i]
+		st.n++
+		if s.Value < st.min {
+			st.min = s.Value
+		}
+		if s.Value > st.max {
+			st.max = s.Value
+		}
+		st.mean += s.Value
+		st.last = s.Value
+	}
+	for i := range stats {
+		stats[i].mean /= float64(stats[i].n)
+	}
+	sort.Slice(stats, func(i, j int) bool { return stats[i].key < stats[j].key })
+	return stats
+}
+
+// RenderReport renders one or more run manifests side by side, followed
+// by a per-run probe-series summary for any run with samples. It is the
+// human-readable view cmd/slowccreport produces; column order follows
+// the argument order so comparisons read left to right.
+func RenderReport(manifests []*Manifest, samples [][]Sample) string {
+	var b strings.Builder
+
+	// Manifest comparison: one row per field, one column per run.
+	rows := []struct {
+		label string
+		get   func(m *Manifest) string
+	}{
+		{"tool", func(m *Manifest) string { return m.Tool }},
+		{"seed", func(m *Manifest) string { return fmt.Sprintf("%d", m.Seed) }},
+		{"duration", func(m *Manifest) string { return fmt.Sprintf("%gs", m.DurationS) }},
+		{"algos", func(m *Manifest) string { return strings.Join(m.Algos, ",") }},
+		{"events", func(m *Manifest) string { return fmt.Sprintf("%d", m.Events) }},
+		{"wall time", func(m *Manifest) string { return fmt.Sprintf("%.3fs", m.WallTimeS) }},
+		{"digest", func(m *Manifest) string { return short(m.Digest) }},
+	}
+	// Config and counter keys become rows of their own, the union across
+	// runs so a knob present in only one run still shows up.
+	for _, k := range unionKeys(manifests, func(m *Manifest) []string { return stringKeys(m.Config) }) {
+		k := k
+		rows = append(rows, struct {
+			label string
+			get   func(m *Manifest) string
+		}{"config." + k, func(m *Manifest) string { return m.Config[k] }})
+	}
+	for _, k := range unionKeys(manifests, func(m *Manifest) []string { return intKeys(m.Counters) }) {
+		k := k
+		rows = append(rows, struct {
+			label string
+			get   func(m *Manifest) string
+		}{k, func(m *Manifest) string {
+			if _, ok := m.Counters[k]; !ok {
+				return "-"
+			}
+			return fmt.Sprintf("%d", m.Counters[k])
+		}})
+	}
+
+	table := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		row := []string{r.label}
+		for _, m := range manifests {
+			row = append(row, r.get(m))
+		}
+		table = append(table, row)
+	}
+	writeAligned(&b, table)
+
+	// Probe-series summaries, one block per run that has samples.
+	for i, smp := range samples {
+		if len(smp) == 0 {
+			continue
+		}
+		name := fmt.Sprintf("run %d", i+1)
+		if i < len(manifests) {
+			name = manifests[i].Tool
+		}
+		fmt.Fprintf(&b, "\nprobes (%s):\n", name)
+		st := summarize(smp)
+		stable := [][]string{{"probe/var", "n", "min", "mean", "max", "last"}}
+		for _, s := range st {
+			stable = append(stable, []string{
+				s.key, fmt.Sprintf("%d", s.n),
+				fmt.Sprintf("%.4g", s.min), fmt.Sprintf("%.4g", s.mean),
+				fmt.Sprintf("%.4g", s.max), fmt.Sprintf("%.4g", s.last),
+			})
+		}
+		writeAligned(&b, stable)
+	}
+	return b.String()
+}
+
+// short abbreviates a digest for table display.
+func short(d string) string {
+	if len(d) > 12 {
+		return d[:12]
+	}
+	if d == "" {
+		return "-"
+	}
+	return d
+}
+
+func stringKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func intKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// unionKeys returns the sorted union of per-manifest key sets.
+func unionKeys(ms []*Manifest, keys func(*Manifest) []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, m := range ms {
+		for _, k := range keys(m) {
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// writeAligned writes rows with columns padded to their widest cell,
+// two spaces between columns.
+func writeAligned(b *strings.Builder, rows [][]string) {
+	var width []int
+	for _, row := range rows {
+		for i, cell := range row {
+			if i >= len(width) {
+				width = append(width, 0)
+			}
+			if len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i == len(row)-1 {
+				b.WriteString(cell)
+			} else {
+				fmt.Fprintf(b, "%-*s  ", width[i], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+}

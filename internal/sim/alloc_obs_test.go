@@ -1,0 +1,41 @@
+package sim_test
+
+// External test package: obs imports sim, so pinning the disabled-probe
+// cost with a real obs.Sampler has to live outside package sim.
+
+import (
+	"testing"
+
+	"slowcc/internal/obs"
+	"slowcc/internal/obs/probe"
+	"slowcc/internal/sim"
+)
+
+// A disabled sampler installed in the probe slot must keep the engine's
+// steady-state event turnover allocation-free: its first OnEvent
+// answers "never wake me", after which the engine's per-event cost is
+// one comparison. This is the "wired but off" half of the obs overhead
+// gate; the benchmark half lives in
+// BenchmarkEnginePacketsPerSecondObsOff.
+func TestAllocsProbeHookDisabled(t *testing.T) {
+	e := sim.New(1)
+	s := obs.NewSampler(0) // Interval <= 0: disabled
+	s.AddVars("p", []probe.Var{{Name: "x", Read: func() float64 { return 1 }}})
+	s.Install(e)
+
+	var fn func(any)
+	fn = func(arg any) { e.AfterFunc(0.001, fn, arg) }
+	e.AfterFunc(0.001, fn, nil)
+	e.RunUntil(1) // warm the timer free list
+	var horizon sim.Time = 1
+	avg := testing.AllocsPerRun(100, func() {
+		horizon += 0.01
+		e.RunUntil(horizon) // ~10 events per run
+	})
+	if avg != 0 {
+		t.Fatalf("disabled probe hook allocates %v times per run, want 0", avg)
+	}
+	if len(s.Samples()) != 0 {
+		t.Fatalf("disabled sampler recorded %d samples", len(s.Samples()))
+	}
+}

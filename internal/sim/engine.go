@@ -53,6 +53,7 @@ func (t *Timer) Stop() bool {
 		return false
 	}
 	t.stopped = true
+	t.eng.stops++
 	t.eng.remove(t.index)
 	return true
 }
@@ -82,6 +83,24 @@ type AuditHook interface {
 	OnEvent(prev, at Time, seq uint64)
 }
 
+// ProbeHook observes executed events for state sampling (see
+// internal/obs). It is the narrow half of AuditHook: a probe only
+// watches the clock advance, so the engine does not dispatch schedule
+// notifications to it. OnEvent returns the next simulated time the
+// hook wants to observe; the engine skips the hook entirely until an
+// event reaches that time, so a probe that samples on a cadence costs
+// one float comparison per event between ticks, and a disabled probe
+// (returning +Inf) costs that comparison forever. Called synchronously
+// on the simulation goroutine; implementations must not mutate the
+// engine.
+type ProbeHook interface {
+	// OnEvent is called immediately before an event executes, with the
+	// same arguments as AuditHook.OnEvent. It returns the earliest
+	// simulated time at which the hook needs to run again (+Inf for
+	// never); the engine will not call it for events before that time.
+	OnEvent(prev, at Time, seq uint64) Time
+}
+
 // Engine is a discrete-event scheduler. Create one with New; the zero
 // value is not usable because it lacks an RNG.
 type Engine struct {
@@ -92,13 +111,27 @@ type Engine struct {
 	rng    *rand.Rand
 	nsteps uint64
 	audit  AuditHook
+	probe  ProbeHook // second hook slot: sampling, never validation
+	// probeAt is the probe hook's requested wake time: events strictly
+	// before it skip the hook with one comparison. +Inf when no probe is
+	// installed (or the installed one asked never to be called again).
+	probeAt Time
+	crash   func(reason string)
+
+	// Scheduler counters, maintained unconditionally: plain integer
+	// increments on paths that already touch the same cache lines, so
+	// they are free at the scale the benchmarks resolve. nsteps is the
+	// fired-event counter and predates these.
+	scheduled uint64 // timers accepted by At/After/AtFunc/ResetAt
+	rearms    uint64 // in-place ResetAt/ResetAfter reschedules
+	stops     uint64 // Timer.Stop calls that cancelled a live timer
 }
 
 // New returns an engine whose clock starts at zero and whose random
 // number generator is seeded with seed. Two engines constructed with the
 // same seed and fed the same schedule produce identical runs.
 func New(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{rng: rand.New(rand.NewSource(seed)), probeAt: math.Inf(1)}
 }
 
 // Now returns the current simulated time.
@@ -121,6 +154,40 @@ func (e *Engine) Pending() int { return len(e.events) }
 // disabled.
 func (e *Engine) SetAudit(h AuditHook) { e.audit = h }
 
+// SetProbe installs h as the engine's observation hook; nil disables it.
+// It is a second, independent slot so state sampling (internal/obs) can
+// piggyback on the event stream without competing with the invariant
+// auditor and, critically, without scheduling timers of its own:
+// enabling a probe must not change the event sequence a seed produces.
+// The hook is first consulted on the next executed event, after which
+// its own return values pace it (see ProbeHook); install the hook in
+// its final enabled/disabled state, since a hook that answered "never
+// again" is not re-consulted.
+func (e *Engine) SetProbe(h ProbeHook) {
+	e.probe = h
+	if h == nil {
+		e.probeAt = math.Inf(1)
+	} else {
+		e.probeAt = math.Inf(-1)
+	}
+}
+
+// SetCrashHook installs fn to run immediately before the engine panics
+// on a scheduling-validation failure, so a flight recorder can dump its
+// ring before the stack unwinds. nil (the default) disables it.
+func (e *Engine) SetCrashHook(fn func(reason string)) { e.crash = fn }
+
+// Scheduled returns the number of timers accepted onto the heap since
+// construction (At/After/AtFunc/AfterFunc and every ResetAt re-arm).
+func (e *Engine) Scheduled() uint64 { return e.scheduled }
+
+// Rearms returns the number of in-place ResetAt/ResetAfter reschedules.
+func (e *Engine) Rearms() uint64 { return e.rearms }
+
+// Stops returns the number of Timer.Stop calls that cancelled a live
+// timer.
+func (e *Engine) Stops() uint64 { return e.stops }
+
 // validate panics on timestamps that would corrupt the schedule.
 // Scheduling in the past (t < Now) always indicates a model bug, and
 // silently clamping would corrupt causality. Non-finite times (NaN, ±Inf)
@@ -129,11 +196,20 @@ func (e *Engine) SetAudit(h AuditHook) { e.audit = h }
 // corrupt heap ordering for every later event.
 func (e *Engine) validate(t Time) {
 	if math.IsNaN(t) || math.IsInf(t, 0) {
-		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v (now %v)", t, e.now))
+		e.crashf(fmt.Sprintf("sim: scheduling event at non-finite time %v (now %v)", t, e.now))
 	}
 	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+		e.crashf(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
+}
+
+// crashf gives the crash hook (a flight-recorder dump, typically) a
+// chance to run, then panics with reason.
+func (e *Engine) crashf(reason string) {
+	if e.crash != nil {
+		e.crash(reason)
+	}
+	panic(reason)
 }
 
 // schedule stamps tm with the next sequence number and pushes it onto the
@@ -142,6 +218,7 @@ func (e *Engine) schedule(t Time, tm *Timer) {
 	if e.audit != nil {
 		e.audit.OnSchedule(e.now, t)
 	}
+	e.scheduled++
 	e.seq++
 	tm.at = t
 	tm.seq = e.seq
@@ -222,6 +299,7 @@ func (e *Engine) ResetAt(tm *Timer, t Time, fn func()) *Timer {
 		return e.At(t, fn)
 	}
 	e.validate(t)
+	e.rearms++
 	if tm.index >= 0 {
 		e.remove(tm.index)
 	}
@@ -250,6 +328,9 @@ func (e *Engine) step() bool {
 	e.nsteps++
 	if e.audit != nil {
 		e.audit.OnEvent(prev, tm.at, tm.seq)
+	}
+	if tm.at >= e.probeAt {
+		e.probeAt = e.probe.OnEvent(prev, tm.at, tm.seq)
 	}
 	if tm.fnA != nil {
 		fn, arg := tm.fnA, tm.arg

@@ -10,6 +10,7 @@ import (
 
 	"slowcc/internal/invariant"
 	"slowcc/internal/netem"
+	"slowcc/internal/obs"
 	"slowcc/internal/sim"
 )
 
@@ -188,6 +189,29 @@ func New(eng *sim.Engine, cfg Config) *Dumbbell {
 		d.lrEntry = d.Filter
 	}
 	return d
+}
+
+// Observe registers the dumbbell's core components with the counter
+// registry: the engine's scheduler counters, both bottleneck links
+// (with RED drop splits when RED is in use), and the packet pool. The
+// per-flow access links are deliberately omitted — they are sized not
+// to drop, so their counters only restate the bottlenecks'.
+func (d *Dumbbell) Observe(reg *obs.Registry) {
+	reg.AddEngine(d.Eng)
+	reg.AddLink("lr", d.LR)
+	reg.AddLink("rl", d.RL)
+	reg.AddPool(d.Pool)
+}
+
+// ObserveProbes registers both bottleneck RED queues with the sampler
+// (no-op under DropTail, which has no EWMA state worth tracing).
+func (d *Dumbbell) ObserveProbes(s *obs.Sampler) {
+	if r, ok := d.LR.Q.(*netem.RED); ok {
+		s.Add("red.lr", r)
+	}
+	if r, ok := d.RL.Q.(*netem.RED); ok {
+		s.Add("red.rl", r)
+	}
 }
 
 // PathLR wires a left-to-right path for flow: packets offered to the

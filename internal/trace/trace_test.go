@@ -42,6 +42,74 @@ func TestRecorderRing(t *testing.T) {
 	}
 }
 
+func TestRecorderRingWrapBoundary(t *testing.T) {
+	const limit = 7
+	check := func(total int) {
+		t.Helper()
+		r := Recorder{Limit: limit}
+		for i := 0; i < total; i++ {
+			r.Record(Event{T: float64(i), Seq: int64(i)})
+		}
+		wantLen := total
+		if wantLen > limit {
+			wantLen = limit
+		}
+		if r.Len() != wantLen || r.Total() != total {
+			t.Fatalf("after %d records: Len=%d Total=%d, want %d/%d",
+				total, r.Len(), r.Total(), wantLen, total)
+		}
+		evs := r.Events()
+		if len(evs) != wantLen {
+			t.Fatalf("after %d records: Events len %d, want %d", total, len(evs), wantLen)
+		}
+		first := int64(total - wantLen)
+		for i, ev := range evs {
+			if ev.Seq != first+int64(i) {
+				t.Fatalf("after %d records: Events()[%d].Seq = %d, want %d (got %v)",
+					total, i, ev.Seq, first+int64(i), evs)
+			}
+		}
+	}
+	// Every total around the wrap boundaries: empty, partial fill, exactly
+	// full, one past full (first eviction), mid-second-lap, exactly two
+	// laps (start back at 0 while full), and past that.
+	for _, total := range []int{0, 1, limit - 1, limit, limit + 1, limit + 3, 2 * limit, 2*limit + 1, 5*limit + 2} {
+		check(total)
+	}
+}
+
+func TestRecorderRingEventsDoNotAliasStorage(t *testing.T) {
+	r := Recorder{Limit: 4}
+	for i := 0; i < 6; i++ {
+		r.Record(Event{Seq: int64(i)})
+	}
+	evs := r.Events()
+	evs[0].Seq = -99
+	if got := r.Events()[0].Seq; got != 2 {
+		t.Fatalf("mutating Events() result leaked into the ring: oldest Seq = %d, want 2", got)
+	}
+}
+
+func TestRecorderRingWriteTSVAfterWrap(t *testing.T) {
+	r := Recorder{Limit: 3}
+	for i := 0; i < 5; i++ {
+		r.Record(Event{T: float64(i), Op: Recv, Flow: 1, Seq: int64(i), Size: 1000})
+	}
+	var buf bytes.Buffer
+	if err := r.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("TSV lines %d, want header + 3 rows", len(lines))
+	}
+	for i, want := range []string{"2.000000", "3.000000", "4.000000"} {
+		if !strings.HasPrefix(lines[i+1], want+"\t") {
+			t.Fatalf("row %d = %q, want t=%s first", i, lines[i+1], want)
+		}
+	}
+}
+
 func TestOpStrings(t *testing.T) {
 	for op, want := range map[Op]string{Send: "send", Recv: "recv", Drop: "drop", Mark: "mark", Op(99): "?"} {
 		if op.String() != want {

@@ -35,9 +35,13 @@
 package slowcc
 
 import (
+	"io"
+
 	"slowcc/internal/exp"
 	"slowcc/internal/metrics"
 	"slowcc/internal/netem"
+	"slowcc/internal/obs"
+	"slowcc/internal/obs/probe"
 	"slowcc/internal/sim"
 	"slowcc/internal/topology"
 	"slowcc/internal/trace"
@@ -171,3 +175,66 @@ const (
 // SACKTCP returns TCP(b) with selective-acknowledgment recovery, the
 // closest match to the paper's ns-2 Sack1 agents.
 func SACKTCP(b float64) Algorithm { return exp.SACKTCPAlgo(b) }
+
+// Observability layer (internal/obs; see DESIGN.md §9): periodic state
+// probes over cc internals, named monotonic counters over the core, a
+// flight recorder for post-mortem dumps, and deterministic run
+// manifests.
+
+// ProbeVar is one observable scalar exposed by a component.
+type ProbeVar = probe.Var
+
+// Sampler snapshots registered probe variables on a fixed simulated
+// cadence, piggybacking on the engine's event stream (Install) so
+// sampling never changes a run's event sequence.
+type Sampler = obs.Sampler
+
+// NewSampler returns a sampler with the given cadence in simulated
+// seconds (<= 0 disabled).
+func NewSampler(interval Time) *Sampler { return obs.NewSampler(interval) }
+
+// ProbeSample is one probed value.
+type ProbeSample = obs.Sample
+
+// CounterRegistry collects named monotonic counters from the simulator
+// core; Dumbbell.Observe registers a whole topology.
+type CounterRegistry = obs.Registry
+
+// FlightRecorder keeps a fixed ring of recent packet events, probe
+// samples, and notes for post-mortem dumps.
+type FlightRecorder = obs.FlightRecorder
+
+// NewFlightRecorder returns a recorder retaining the last n records.
+func NewFlightRecorder(n int) *FlightRecorder { return obs.NewFlightRecorder(n) }
+
+// Manifest is a deterministic record of one run (config, seed, event
+// count, counters, output digests).
+type Manifest = obs.Manifest
+
+// ReadManifest parses a manifest file, verifying its digest.
+func ReadManifest(path string) (*Manifest, error) { return obs.ReadManifest(path) }
+
+// DigestBytes returns the hex sha256 of b, the hash Manifest.Outputs
+// entries use.
+func DigestBytes(b []byte) string { return obs.DigestBytes(b) }
+
+// RenderReport renders manifests and probe series into a comparison
+// table (the cmd/slowccreport output).
+func RenderReport(ms []*Manifest, samples [][]ProbeSample) string {
+	return obs.RenderReport(ms, samples)
+}
+
+// ReadProbeTSV parses a probe TSV written by Sampler.WriteTSV.
+func ReadProbeTSV(r io.Reader) ([]ProbeSample, error) { return obs.ReadSamplesTSV(r) }
+
+// TraceRunConfig describes one ad-hoc traced run (the cmd/slowcctrace
+// scenario): a flow mix on the paper's dumbbell with packet tracing,
+// optional state probes, and a counter registry.
+type TraceRunConfig = exp.TraceRunConfig
+
+// TraceRun is a wired traced scenario; construct with NewTraceRun,
+// call Run, then read Rec, Sampler, Registry, and Manifest.
+type TraceRun = exp.TraceRun
+
+// NewTraceRun wires a traced scenario without running it.
+func NewTraceRun(cfg TraceRunConfig) *TraceRun { return exp.NewTraceRun(cfg) }
