@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke bench-json report-smoke
+.PHONY: ci vet build test race bench bench-smoke bench-json report-smoke fuzz-smoke
 
 # ci is the gate future PRs run: static checks, a full build, the
 # complete test suite under the race detector, and a single-iteration
@@ -10,7 +10,7 @@ GO ?= go
 # so packet-accounting regressions fail here even when no figure-level
 # assertion notices them; -race additionally exercises parallelMap's
 # worker pool.
-ci: vet build race bench-smoke report-smoke
+ci: vet build race bench-smoke report-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -46,6 +46,14 @@ report-smoke:
 		-manifest .report-smoke/run.json > /dev/null
 	$(GO) run ./cmd/slowccreport -probes .report-smoke/run.probes.tsv .report-smoke/run.json
 	rm -rf .report-smoke
+
+# fuzz-smoke gives each parser fuzz target a few seconds of coverage-
+# guided input on every ci run — long enough to re-find shallow
+# regressions (the TimedPattern fast-forward hang was one), short enough
+# not to dominate the gate. Longer campaigns: raise -fuzztime by hand.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzParsePattern -fuzztime=3s ./internal/netem
+	$(GO) test -run='^$$' -fuzz=FuzzParseSpec -fuzztime=3s ./internal/faults
 
 # bench-json measures the simulator core (engine, link, per-flow, and
 # the two-flow macro-benchmark), records the trajectory against the

@@ -325,6 +325,33 @@ func BenchmarkEnginePacketsPerSecondObsOff(b *testing.B) {
 	}
 }
 
+// BenchmarkEnginePacketsPerSecondFaultsOff is the macro scenario with a
+// fault injector wired but disabled: the injector is constructed and
+// passed to the dumbbell, whose Attach (zero-config) hands the entry
+// handler back untouched and schedules nothing. The cmd/slowccbench
+// fault gate pairs this against the plain variant from the same run and
+// fails on more than 2% slowdown, any extra allocations over the PR 2
+// record, or any event-count drift — "fault injection costs nothing
+// when off" stated as a regression check.
+func BenchmarkEnginePacketsPerSecondFaultsOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := slowcc.NewEngine(int64(i + 1))
+		b.StopTimer()
+		inj := slowcc.NewFaultInjector(eng, slowcc.FaultConfig{})
+		b.StartTimer()
+		d := slowcc.NewDumbbell(eng, slowcc.DumbbellConfig{Rate: 10e6, Seed: int64(i + 1), Fault: inj})
+		f1 := slowcc.TCP(0.5).Make(eng, d, 1)
+		f2 := slowcc.TCP(0.5).Make(eng, d, 2)
+		eng.At(0, f1.Sender.Start)
+		eng.At(0, f2.Sender.Start)
+		eng.RunUntil(30)
+		b.ReportMetric(float64(eng.Steps()), "events")
+		if inj.Attached() {
+			b.Fatal("disabled injector attached a handler")
+		}
+	}
+}
+
 // BenchmarkSACKAblation reruns the Figure 5 headline cell with
 // SACK-recovery TCP as the yardstick family, checking the fidelity
 // deviation noted in EXPERIMENTS.md does not change the conclusion.

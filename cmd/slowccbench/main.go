@@ -93,6 +93,7 @@ type report struct {
 	Gates      gates      `json:"gates"`
 	Trajectory outcome    `json:"trajectory"`
 	Obs        obsOutcome `json:"obs_overhead"`
+	Faults     obsOutcome `json:"faults_overhead"`
 }
 
 type gates struct {
@@ -131,7 +132,7 @@ var suites = []struct{ pkg, pattern string }{
 	// The Obs variant runs in the same invocation as the plain macro-
 	// benchmark so the overhead comparison is paired: same machine,
 	// same load, interleaved by -count.
-	{".", "EnginePacketsPerSecond$|EnginePacketsPerSecondObsOff|TCPFlowSimSecond|TFRCFlowSimSecond"},
+	{".", "EnginePacketsPerSecond$|EnginePacketsPerSecondObsOff|EnginePacketsPerSecondFaultsOff|TCPFlowSimSecond|TFRCFlowSimSecond"},
 	{"./internal/sim", "EngineEventTurnover"},
 	{"./internal/netem", "LinkForward"},
 }
@@ -169,8 +170,13 @@ func main() {
 		Gates:     g,
 		Trajectory: trajectory(baseline.Benchmarks["EnginePacketsPerSecond"],
 			cur.Benchmarks["EnginePacketsPerSecond"], g),
-		Obs: obsOverhead(cur.Benchmarks["EnginePacketsPerSecond"],
+		Obs: obsOverhead("EnginePacketsPerSecondObsOff",
+			cur.Benchmarks["EnginePacketsPerSecond"],
 			cur.Benchmarks["EnginePacketsPerSecondObsOff"],
+			pr2.Benchmarks["EnginePacketsPerSecond"], g),
+		Faults: obsOverhead("EnginePacketsPerSecondFaultsOff",
+			cur.Benchmarks["EnginePacketsPerSecond"],
+			cur.Benchmarks["EnginePacketsPerSecondFaultsOff"],
 			pr2.Benchmarks["EnginePacketsPerSecond"], g),
 	}
 
@@ -187,15 +193,20 @@ func main() {
 	t := rep.Trajectory
 	fmt.Printf("%s: speedup %.2fx (gate %.1fx), allocs drop %.2f%% (gate %.0f%%), events identical: %v -> %s\n",
 		t.Benchmark, t.Speedup, g.MinSpeedup, t.AllocsDrop*100, g.MinAllocsDrop*100, t.EventsSame, *out)
-	o := rep.Obs
-	fmt.Printf("%s: slowdown %.3fx vs plain (gate %.2fx), extra allocs %+.0f vs pr2 (gate %+.0f), events identical: %v\n",
-		o.Benchmark, o.Slowdown, g.MaxObsSlowdown, o.ExtraAllocs, g.MaxObsExtraAllocs, o.EventsSame)
+	for _, o := range []obsOutcome{rep.Obs, rep.Faults} {
+		fmt.Printf("%s: slowdown %.3fx vs plain (gate %.2fx), extra allocs %+.0f vs pr2 (gate %+.0f), events identical: %v\n",
+			o.Benchmark, o.Slowdown, g.MaxObsSlowdown, o.ExtraAllocs, g.MaxObsExtraAllocs, o.EventsSame)
+	}
 	if !t.Pass {
 		fmt.Fprintln(os.Stderr, "slowccbench: optimization gates NOT met")
 		os.Exit(1)
 	}
-	if !o.Pass {
+	if !rep.Obs.Pass {
 		fmt.Fprintln(os.Stderr, "slowccbench: observability overhead gates NOT met")
+		os.Exit(1)
+	}
+	if !rep.Faults.Pass {
+		fmt.Fprintln(os.Stderr, "slowccbench: fault-injection overhead gates NOT met")
 		os.Exit(1)
 	}
 }
@@ -217,8 +228,8 @@ func trajectory(base, cur map[string]float64, g gates) outcome {
 // against the PR 2 allocation record. Both variants must execute the
 // same event count — the obs layer is not allowed to change simulated
 // behavior — and that count must still equal the PR 2 record's.
-func obsOverhead(plain, obsOff, pr2core map[string]float64, g gates) obsOutcome {
-	o := obsOutcome{Benchmark: "EnginePacketsPerSecondObsOff"}
+func obsOverhead(name string, plain, obsOff, pr2core map[string]float64, g gates) obsOutcome {
+	o := obsOutcome{Benchmark: name}
 	if plain == nil || obsOff == nil || pr2core == nil || plain["ns/op"] == 0 {
 		return o
 	}

@@ -10,6 +10,14 @@
 //	slowccsim -exp fig5 -full     # the paper's full parameters
 //	slowccsim -exp all -full      # everything (minutes of CPU)
 //	slowccsim -exp fig5 -manifest run.json   # record a run manifest
+//	slowccsim -exp outage -full   # flash crowd onto a recovering link
+//	slowccsim -exp fig6 -fault 'down:20+2' -max-events 50000000
+//
+// -fault injects deterministic faults (outages, flapping, corruption,
+// duplication, reordering — see internal/faults) at every scenario's
+// bottleneck; -max-events and -deadline bound runaway cells, and a
+// sweep cell that panics or times out is reported as degraded on
+// stderr (and counted in the manifest) instead of killing the run.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"time"
 
 	"slowcc/internal/exp"
+	"slowcc/internal/faults"
 	"slowcc/internal/obs"
 	"slowcc/internal/sim"
 )
@@ -56,6 +65,7 @@ func experiments() []experiment {
 		{"ablation-droptail", "Fig 4/5 scenario with tail-drop instead of RED", runAblationDropTail},
 		{"ablation-ecn", "long-term fairness with an ECN-marking bottleneck", runAblationECN},
 		{"ablation-tear", "TEAR in the stabilization and oscillation scenarios", runAblationTEAR},
+		{"outage", "robustness extension: flash crowd onto a recovering bottleneck", runOutage},
 		{"static-compat", "static TCP-compatibility audit under fixed loss", runStaticCompat},
 		{"rtt-fairness", "extension: unequal-RTT flows sharing the bottleneck", runRTTFairness},
 		{"queue-dynamics", "extension: queue oscillation by traffic type", runQueueDynamics},
@@ -72,8 +82,34 @@ func main() {
 		manifest   = flag.String("manifest", "", "write a deterministic run-manifest JSON to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		maxEvents  = flag.Int64("max-events", 0, "halt any single scenario after this many events (0 = unbounded)")
+		deadline   = flag.Duration("deadline", 0, "per-sweep-cell wall-clock deadline; a cell over it is degraded, not fatal (0 = none)")
+		faultSpec  = flag.String("fault", "", "fault spec injected at every scenario's bottleneck, e.g. 'down:25+5;corrupt:0.001' (see internal/faults)")
 	)
 	flag.Parse()
+
+	if *maxEvents > 0 || *deadline > 0 {
+		// A deadline abandons the cell's goroutine; the wall budget makes
+		// the abandoned run actually halt instead of spinning.
+		b := &sim.Budget{MaxEvents: uint64(*maxEvents)}
+		if *deadline > 0 {
+			b.MaxWall = *deadline
+		}
+		exp.SetRunBudget(b)
+	}
+	if *deadline > 0 {
+		pol := exp.SweepPolicy()
+		pol.Deadline = *deadline
+		exp.SetSweepPolicy(pol)
+	}
+	if *faultSpec != "" {
+		fc, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-fault: %v\n", err)
+			os.Exit(2)
+		}
+		exp.SetFaultConfig(&fc)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -119,6 +155,15 @@ func main() {
 	m := obs.NewManifest("slowccsim", *seed)
 	m.Config["full"] = strconv.FormatBool(*full)
 	m.Config["exp"] = *name
+	if *maxEvents > 0 {
+		m.Config["max_events"] = strconv.FormatInt(*maxEvents, 10)
+	}
+	if *deadline > 0 {
+		m.Config["deadline"] = deadline.String()
+	}
+	if *faultSpec != "" {
+		m.Config["fault"] = *faultSpec
+	}
 	wallStart := time.Now()
 	for _, e := range exps {
 		if *name != "all" && !strings.EqualFold(*name, e.name) {
@@ -148,6 +193,15 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *name)
 		os.Exit(2)
+	}
+	// Supervised sweeps degrade poisoned cells instead of aborting; make
+	// the degradation loud and durable rather than silent.
+	if errs := exp.SweepErrors(); len(errs) > 0 {
+		fmt.Fprintf(os.Stderr, "%d sweep cell(s) degraded:\n", len(errs))
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "  %v\n", e)
+		}
+		m.Config["degraded_cells"] = strconv.Itoa(len(errs))
 	}
 	if *manifest != "" {
 		m.WallTimeS = time.Since(wallStart).Seconds()
@@ -260,6 +314,18 @@ func runFig6(full bool, seed int64) (string, any) {
 	}
 	res := exp.Fig6(cfg)
 	return exp.RenderFig6(cfg, res), res
+}
+
+func runOutage(full bool, seed int64) (string, any) {
+	cfg := exp.OutageConfig{Seed: seed}
+	if !full {
+		cfg.OutageAt = 15
+		cfg.OutageDur = 3
+		cfg.End = 45
+		cfg.Flows = 6
+	}
+	res := exp.Outage(cfg)
+	return exp.RenderOutage(cfg, res), res
 }
 
 func fairness(base exp.FairnessConfig, title string, full bool, seed int64) (string, []exp.FairnessPoint) {

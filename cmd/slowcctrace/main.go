@@ -45,6 +45,7 @@ import (
 	"strings"
 
 	"slowcc"
+	"slowcc/internal/faults"
 )
 
 // flowList collects repeated -flow flags.
@@ -118,8 +119,15 @@ func main() {
 		probe    = flag.Float64("probe", 0, "state-probe sampling interval, seconds (0 disables)")
 		probeOut = flag.String("probes", "", "probe TSV output path (default <out>.probes.tsv when -probe is set with -out)")
 		manifest = flag.String("manifest", "", "run-manifest JSON output path (omit to skip)")
+		fault    = flag.String("fault", "", "fault spec for the forward bottleneck, e.g. 'down:10+2;corrupt:0.001' (see internal/faults)")
 	)
 	flag.Parse()
+	if *fault != "" {
+		if _, err := faults.ParseSpec(*fault); err != nil {
+			fmt.Fprintf(os.Stderr, "-fault: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	if len(flows) == 0 {
 		flows = flowList{"tcp:0.5", "tfrc:8"}
 	}
@@ -130,6 +138,7 @@ func main() {
 		Duration:      *dur,
 		ECN:           *ecn,
 		ProbeInterval: *probe,
+		FaultSpec:     *fault,
 	}
 	for _, spec := range flows {
 		algo, err := parseAlgo(spec)

@@ -10,6 +10,7 @@ import (
 	"slowcc/internal/cc/tcp"
 	"slowcc/internal/cc/tear"
 	"slowcc/internal/cc/tfrc"
+	"slowcc/internal/faults"
 	"slowcc/internal/invariant"
 	"slowcc/internal/obs"
 	"slowcc/internal/sim"
@@ -94,9 +95,37 @@ func recordAuditViolation(v invariant.Violation) {
 
 // newScenario constructs the engine and dumbbell every figure driver
 // runs on, wiring the invariant auditor through both when audit mode is
-// enabled.
-func newScenario(seed int64, tc topology.Config) (*sim.Engine, *topology.Dumbbell) {
+// enabled, applying the global run budget and fault configuration (the
+// -max-events / -fault CLI paths), and — for a supervised sweep cell —
+// keeping a flight recorder the supervisor can dump if the cell
+// panics. c is nil outside supervised sweeps.
+func newScenario(c *Cell, seed int64, tc topology.Config) (*sim.Engine, *topology.Dumbbell) {
+	eng, d, _ := newFaultScenario(c, seed, tc, nil)
+	return eng, d
+}
+
+// newFaultScenario is newScenario with an explicit fault configuration
+// (the outage experiment's path). A nil fc falls back to the global one
+// installed by SetFaultConfig; the returned injector is nil when neither
+// is enabled.
+func newFaultScenario(c *Cell, seed int64, tc topology.Config, fc *faults.Config) (*sim.Engine, *topology.Dumbbell, *faults.Injector) {
 	eng := sim.New(seed)
+	budget, fault, pol := scenarioGlobals()
+	if fc == nil {
+		fc = fault
+	}
+	if budget != nil {
+		eng.SetBudget(budget)
+	}
+	var inj *faults.Injector
+	if fc != nil && fc.Enabled() {
+		cfg := *fc
+		if cfg.Seed == 0 {
+			cfg.Seed = seed // default the fault stream onto the cell's seed
+		}
+		inj = faults.New(eng, cfg)
+		tc.Fault = inj
+	}
 	audit.mu.Lock()
 	on := audit.enabled
 	flightDir := audit.flightDir
@@ -118,7 +147,16 @@ func newScenario(seed int64, tc topology.Config) (*sim.Engine, *topology.Dumbbel
 		a.DumpPath = filepath.Join(flightDir,
 			fmt.Sprintf("flight-%d.dump", audit.flightSeq.Add(1)))
 	}
-	return eng, d
+	if c != nil && pol.FlightDir != "" {
+		ring := pol.FlightRing
+		if ring == 0 {
+			ring = flightRingSize
+		}
+		fr := obs.NewFlightRecorder(ring)
+		d.LR.AddTap(fr.LinkTap())
+		c.flight = fr
+	}
+	return eng, d, inj
 }
 
 // auditorFor returns the auditor attached to eng by newScenario, or nil.

@@ -71,9 +71,9 @@ func RunConvergence(cfg ConvergenceConfig) ConvergenceResult {
 		t  sim.Time
 		ok bool
 	}
-	trials := parallelMap(len(cfg.Seeds), func(i int) trial {
-		seed := cfg.Seeds[i]
-		eng, d := newScenario(seed, topology.Config{Rate: cfg.Rate, Seed: seed})
+	trials := supervisedMap(len(cfg.Seeds), func(c *Cell) trial {
+		seed := c.Seed(cfg.Seeds[c.Index()])
+		eng, d := newScenario(c, seed, topology.Config{Rate: cfg.Rate, Seed: seed})
 		f1 := cfg.Algo.Make(eng, d, 1)
 		f2 := cfg.Algo.Make(eng, d, 2)
 		eng.At(0, f1.Sender.Start)

@@ -25,6 +25,9 @@ type Fig13Config struct {
 	MaxGamma int
 	// Seed seeds each run.
 	Seed int64
+
+	// cell is the supervised-sweep context (see supervise.go).
+	cell *Cell
 }
 
 func (c *Fig13Config) fill() {
@@ -77,14 +80,17 @@ func Fig13(cfg Fig13Config) []Fig13Point {
 			jobs = append(jobs, job{fam.name, g, fam.mk(g)})
 		}
 	}
-	return parallelMap(len(jobs), func(i int) Fig13Point {
-		j := jobs[i]
-		return runFig13(cfg, j.family, j.gamma, j.algo)
+	return supervisedMap(len(jobs), func(c *Cell) Fig13Point {
+		j := jobs[c.Index()]
+		cc := cfg
+		cc.Seed = c.Seed(cc.Seed)
+		cc.cell = c
+		return runFig13(cc, j.family, j.gamma, j.algo)
 	})
 }
 
 func runFig13(cfg Fig13Config, family string, gamma int, algo AlgoSpec) Fig13Point {
-	eng, d := newScenario(cfg.Seed, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed})
+	eng, d := newScenario(cfg.cell, cfg.Seed, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed})
 	rtt := d.Cfg.PropRTT()
 
 	flows := make([]Flow, cfg.Flows)

@@ -33,6 +33,9 @@ type OscillationConfig struct {
 	Warmup, Measure sim.Time
 	// Seed seeds each run.
 	Seed int64
+
+	// cell is the supervised-sweep context (see supervise.go).
+	cell *Cell
 }
 
 func (c *OscillationConfig) fill() {
@@ -93,13 +96,16 @@ func Oscillation(cfg OscillationConfig) []OscillationPoint {
 			jobs = append(jobs, job{a, p})
 		}
 	}
-	return parallelMap(len(jobs), func(i int) OscillationPoint {
-		return runOscillation(cfg, jobs[i].algo, jobs[i].period)
+	return supervisedMap(len(jobs), func(c *Cell) OscillationPoint {
+		cc := cfg
+		cc.Seed = c.Seed(cc.Seed)
+		cc.cell = c
+		return runOscillation(cc, jobs[c.Index()].algo, jobs[c.Index()].period)
 	})
 }
 
 func runOscillation(cfg OscillationConfig, algo AlgoSpec, period sim.Time) OscillationPoint {
-	eng, d := newScenario(cfg.Seed, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed})
+	eng, d := newScenario(cfg.cell, cfg.Seed, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed})
 	mon := metrics.NewLossMonitor(0.5)
 	mon.EnsureHorizon(cfg.Warmup + cfg.Measure)
 	d.LR.AddTap(mon.Tap())

@@ -90,7 +90,7 @@ func RunSmoothness(cfg SmoothnessConfig) []SmoothnessResult {
 }
 
 func runSmoothnessOne(cfg SmoothnessConfig, algo AlgoSpec) SmoothnessResult {
-	eng, d := newScenario(cfg.Seed, topology.Config{
+	eng, d := newScenario(nil, cfg.Seed, topology.Config{
 		Rate:        cfg.Rate,
 		Seed:        cfg.Seed,
 		ForwardLoss: cfg.Pattern(),

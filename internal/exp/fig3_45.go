@@ -38,6 +38,10 @@ type StabilizationConfig struct {
 	// the determinism cross-check (pooled and unpooled runs must produce
 	// bit-identical metrics; see DESIGN.md §8), not for production use.
 	DisablePool bool
+
+	// cell is the supervised-sweep context, set by sweep drivers so a
+	// panicking run leaves a flight-recorder dump behind.
+	cell *Cell
 }
 
 func (c *StabilizationConfig) fill() {
@@ -84,7 +88,7 @@ type TimePoint struct {
 // RunStabilization runs the Figure 3/4/5 scenario for one algorithm.
 func RunStabilization(cfg StabilizationConfig) StabilizationResult {
 	cfg.fill()
-	eng, d := newScenario(cfg.Seed, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed, DropTail: cfg.DropTail, DisablePool: cfg.DisablePool})
+	eng, d := newScenario(cfg.cell, cfg.Seed, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed, DropTail: cfg.DropTail, DisablePool: cfg.DisablePool})
 	rtt := d.Cfg.PropRTT()
 
 	mon := metrics.NewLossMonitor(10 * rtt) // paper: average over ten RTTs
@@ -149,10 +153,14 @@ func DefaultFig3() Fig3Config {
 }
 
 // Fig3 runs the drop-rate timeline for each algorithm, in parallel.
+// Cells run supervised: a pathological algorithm degrades its own
+// column (see SweepErrors) instead of aborting the figure.
 func Fig3(cfg Fig3Config) []StabilizationResult {
-	return parallelMap(len(cfg.Algos), func(i int) StabilizationResult {
+	return supervisedMap(len(cfg.Algos), func(c *Cell) StabilizationResult {
 		sc := cfg.Scenario
-		sc.Algo = cfg.Algos[i]
+		sc.Algo = cfg.Algos[c.Index()]
+		sc.Seed = c.Seed(sc.Seed)
+		sc.cell = c
 		return RunStabilization(sc)
 	})
 }
@@ -226,10 +234,12 @@ func Fig45(cfg Fig45Config) []Fig45Point {
 			jobs = append(jobs, job{fam.name, g, fam.mk})
 		}
 	}
-	return parallelMap(len(jobs), func(i int) Fig45Point {
-		j := jobs[i]
+	return supervisedMap(len(jobs), func(c *Cell) Fig45Point {
+		j := jobs[c.Index()]
 		sc := cfg.Scenario
 		sc.Algo = j.mk(j.gamma)
+		sc.Seed = c.Seed(sc.Seed)
+		sc.cell = c
 		return Fig45Point{Family: j.family, Gamma: j.gamma, Result: RunStabilization(sc)}
 	})
 }

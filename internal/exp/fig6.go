@@ -33,6 +33,9 @@ type Fig6Config struct {
 	BinWidth sim.Time
 	// Seed seeds the run.
 	Seed int64
+
+	// cell is the supervised-sweep context (see supervise.go).
+	cell *Cell
 }
 
 func (c *Fig6Config) fill() {
@@ -85,18 +88,20 @@ type Fig6Result struct {
 	CrowdMeanCompletion sim.Time
 }
 
-// Fig6 runs the flash-crowd scenario once per background type.
+// Fig6 runs the flash-crowd scenario once per background type, as
+// supervised sweep cells.
 func Fig6(cfg Fig6Config) []Fig6Result {
 	cfg.fill()
-	var out []Fig6Result
-	for _, bg := range cfg.Backgrounds {
-		out = append(out, runFig6(cfg, bg))
-	}
-	return out
+	return supervisedMap(len(cfg.Backgrounds), func(c *Cell) Fig6Result {
+		cc := cfg
+		cc.Seed = c.Seed(cc.Seed)
+		cc.cell = c
+		return runFig6(cc, cfg.Backgrounds[c.Index()])
+	})
 }
 
 func runFig6(cfg Fig6Config, bg AlgoSpec) Fig6Result {
-	eng, d := newScenario(cfg.Seed, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed})
+	eng, d := newScenario(cfg.cell, cfg.Seed, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed})
 
 	flows := make([]Flow, cfg.Flows)
 	for i := range flows {

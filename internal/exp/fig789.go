@@ -45,6 +45,9 @@ type FairnessConfig struct {
 	// It exists for the determinism cross-check (pooled and unpooled
 	// runs must produce bit-identical metrics; see DESIGN.md §8).
 	DisablePool bool
+
+	// cell is the supervised-sweep context (see supervise.go).
+	cell *Cell
 }
 
 func (c *FairnessConfig) fill() {
@@ -104,10 +107,11 @@ func Fairness(cfg FairnessConfig) []FairnessPoint {
 			jobs = append(jobs, job{pi, si})
 		}
 	}
-	cells := parallelMap(len(jobs), func(i int) FairnessPoint {
-		j := jobs[i]
+	cells := supervisedMap(len(jobs), func(sc *Cell) FairnessPoint {
+		j := jobs[sc.Index()]
 		c := cfg
-		c.Seed = seeds[j.sIdx]
+		c.Seed = sc.Seed(seeds[j.sIdx])
+		c.cell = sc
 		return runFairness(c, cfg.Periods[j.pIdx])
 	})
 	out := make([]FairnessPoint, len(cfg.Periods))
@@ -147,7 +151,7 @@ func mergeFairness(trials []FairnessPoint) FairnessPoint {
 }
 
 func runFairness(cfg FairnessConfig, period sim.Time) FairnessPoint {
-	eng, d := newScenario(cfg.Seed, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed, ECN: cfg.ECN, DisablePool: cfg.DisablePool})
+	eng, d := newScenario(cfg.cell, cfg.Seed, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed, ECN: cfg.ECN, DisablePool: cfg.DisablePool})
 
 	n := cfg.AFlows + cfg.BFlows
 	flows := make([]Flow, 0, n)

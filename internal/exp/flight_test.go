@@ -17,7 +17,7 @@ func TestEnableFlightDumpWiresAuditedScenarios(t *testing.T) {
 	prev := EnableFlightDump(dir)
 	defer EnableFlightDump(prev)
 
-	eng, d := newScenario(1, topology.Config{Rate: 10e6, Seed: 1})
+	eng, d := newScenario(nil, 1, topology.Config{Rate: 10e6, Seed: 1})
 	a := auditorFor(eng)
 	if a == nil {
 		t.Fatal("audit mode off: TestMain should have enabled it")
@@ -62,7 +62,7 @@ func TestEnableFlightDumpWiresAuditedScenarios(t *testing.T) {
 func TestFlightDumpOffByDefault(t *testing.T) {
 	prev := EnableFlightDump("")
 	defer EnableFlightDump(prev)
-	eng, _ := newScenario(1, topology.Config{Rate: 10e6, Seed: 1})
+	eng, _ := newScenario(nil, 1, topology.Config{Rate: 10e6, Seed: 1})
 	a := auditorFor(eng)
 	if a == nil {
 		t.Fatal("audit mode off: TestMain should have enabled it")

@@ -25,6 +25,18 @@ func TestMain(m *testing.M) {
 	code := m.Run()
 	EnableAudit(false)
 	EnableFlightDump("")
+	// Supervised sweeps degrade poisoned cells instead of failing, so a
+	// quietly-degraded figure run would otherwise pass. Any RunError a
+	// test did not expect (and reset) fails the suite here.
+	if errs := SweepErrors(); len(errs) > 0 {
+		fmt.Fprintf(os.Stderr, "supervise: %d unexpected degraded sweep cell(s):\n", len(errs))
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "  %v\n", e)
+		}
+		if code == 0 {
+			code = 1
+		}
+	}
 	if total, vs := AuditViolations(); total > 0 {
 		fmt.Fprintf(os.Stderr, "invariant: %d violation(s) during the exp suite:\n", total)
 		for _, v := range vs {

@@ -1,0 +1,267 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"slowcc/internal/faults"
+	"slowcc/internal/metrics"
+	"slowcc/internal/netem"
+	"slowcc/internal/sim"
+	"slowcc/internal/topology"
+	"slowcc/internal/workload"
+)
+
+// OutageConfig is the robustness extension of the Figure 6 scenario:
+// long-lived SlowCC background traffic loses its bottleneck entirely for
+// OutageDur seconds, and while the link is still refilling a flash crowd
+// of short TCP transfers arrives. The paper argues slowly-responsive
+// algorithms are at their worst exactly here — after an abrupt change
+// they take many RTTs to re-acquire bandwidth, so the question is how
+// much of the post-outage link each background type cedes to the crowd
+// and how long full utilization takes to return.
+type OutageConfig struct {
+	// Backgrounds are the background traffic types compared (default:
+	// TCP(1/2), TCP(1/8), TFRC(256)).
+	Backgrounds []AlgoSpec
+	// Flows is the number of background flows.
+	Flows int
+	// Rate is the bottleneck bandwidth.
+	Rate float64
+	// OutageAt and OutageDur place the bottleneck blackout (default
+	// t=25s for 5s).
+	OutageAt  sim.Time
+	OutageDur sim.Time
+	// Drop switches the outage policy to refusing packets outright
+	// (faults.DownDrop); the default queues them until overflow.
+	Drop bool
+	// CrowdStart, CrowdDuration, CrowdRate, CrowdPkts shape the flash
+	// crowd that lands on the recovering link (default t=30s, i.e. the
+	// instant the outage ends, 5s, 200 flows/s, 10 packets).
+	CrowdStart    sim.Time
+	CrowdDuration sim.Time
+	CrowdRate     float64
+	CrowdPkts     int64
+	// RecoverFrac is the utilization fraction that counts as recovered
+	// (default 0.8).
+	RecoverFrac float64
+	// End bounds the run.
+	End sim.Time
+	// BinWidth is the reporting granularity.
+	BinWidth sim.Time
+	// Seed seeds each run; the outage injector shares it.
+	Seed int64
+
+	// cell is the supervised-sweep context (see supervise.go).
+	cell *Cell
+}
+
+func (c *OutageConfig) fill() {
+	if c.Backgrounds == nil {
+		c.Backgrounds = []AlgoSpec{
+			TCPAlgo(0.5),
+			TCPAlgo(1.0 / 8),
+			TFRCAlgo(TFRCOpts{K: 256}),
+		}
+	}
+	if c.Flows == 0 {
+		c.Flows = 8
+	}
+	if c.Rate == 0 {
+		c.Rate = 10e6
+	}
+	if c.OutageAt == 0 {
+		c.OutageAt = 25
+	}
+	if c.OutageDur == 0 {
+		c.OutageDur = 5
+	}
+	if c.CrowdStart == 0 {
+		c.CrowdStart = c.OutageAt + c.OutageDur
+	}
+	if c.CrowdDuration == 0 {
+		c.CrowdDuration = 5
+	}
+	if c.CrowdRate == 0 {
+		c.CrowdRate = 200
+	}
+	if c.CrowdPkts == 0 {
+		c.CrowdPkts = 10
+	}
+	if c.RecoverFrac == 0 {
+		c.RecoverFrac = 0.8
+	}
+	if c.End == 0 {
+		c.End = 70
+	}
+	if c.BinWidth == 0 {
+		c.BinWidth = 0.5
+	}
+}
+
+// OutageResult is the outcome for one background type.
+type OutageResult struct {
+	Background string
+	// BackgroundRate and CrowdRate are aggregate delivered throughputs
+	// in bits/s per bin.
+	BackgroundRate []TimePoint
+	CrowdRate      []TimePoint
+	// RecoveryTime is how long after the link came back the combined
+	// traffic took to reach RecoverFrac of the bottleneck rate, held for
+	// two consecutive bins; -1 means it never did before End.
+	RecoveryTime sim.Time
+	// OutageDrops counts packets the blackout cost (refused at the down
+	// link plus queue overflow while it was dark).
+	OutageDrops int64
+	// Transitions is the bottleneck's down/up transition count — 2 for a
+	// clean single outage; anything else means the schedule misfired.
+	Transitions int64
+	// CrowdCompleted, CrowdBytes, CrowdMeanCompletion summarize the
+	// flash crowd exactly as in Figure 6.
+	CrowdCompleted      int
+	CrowdBytes          int64
+	CrowdMeanCompletion sim.Time
+}
+
+// Outage runs the blackout scenario once per background type, as
+// supervised sweep cells.
+func Outage(cfg OutageConfig) []OutageResult {
+	cfg.fill()
+	return supervisedMap(len(cfg.Backgrounds), func(c *Cell) OutageResult {
+		cc := cfg
+		cc.Seed = c.Seed(cc.Seed)
+		cc.cell = c
+		return runOutage(cc, cfg.Backgrounds[c.Index()])
+	})
+}
+
+func runOutage(cfg OutageConfig, bg AlgoSpec) OutageResult {
+	policy := netem.DownQueue
+	if cfg.Drop {
+		policy = netem.DownDrop
+	}
+	fc := faults.Config{
+		Seed:    cfg.Seed,
+		Windows: []faults.Window{{At: cfg.OutageAt, Dur: cfg.OutageDur}},
+		Policy:  policy,
+	}
+	eng, d, _ := newFaultScenario(cfg.cell, cfg.Seed,
+		topology.Config{Rate: cfg.Rate, Seed: cfg.Seed}, &fc)
+
+	flows := make([]Flow, cfg.Flows)
+	for i := range flows {
+		flows[i] = bg.Make(eng, d, i+1)
+	}
+	startAll(eng, flows, 0)
+	withReverseTraffic(eng, d, 2)
+
+	fcw := workload.NewFlashCrowd(eng, d, workload.FlashCrowdConfig{
+		Start:       cfg.CrowdStart,
+		Duration:    cfg.CrowdDuration,
+		RatePerSec:  cfg.CrowdRate,
+		PktsPerFlow: cfg.CrowdPkts,
+		FirstFlowID: 10000,
+	})
+
+	bgMeter := metrics.NewMeter(eng, cfg.BinWidth, func() int64 { return sumRecv(flows) })
+	crowdMeter := metrics.NewMeter(eng, cfg.BinWidth, fcw.TotalBytesRecv)
+
+	// Snapshot total drops around the blackout so OutageDrops isolates
+	// what the outage itself cost from ordinary congestion loss.
+	var dropsBefore int64
+	eng.At(cfg.OutageAt, func() { dropsBefore = d.LR.Stats.Drops })
+	var dropsAfter int64
+	eng.At(cfg.OutageAt+cfg.OutageDur, func() { dropsAfter = d.LR.Stats.Drops })
+
+	eng.RunUntil(cfg.End)
+
+	res := OutageResult{
+		Background:     bg.Name,
+		OutageDrops:    dropsAfter - dropsBefore,
+		Transitions:    d.LR.Transitions,
+		CrowdCompleted: fcw.Completed,
+		CrowdBytes:     fcw.TotalBytesRecv(),
+	}
+	bgRates := bgMeter.Rates()
+	crowdRates := crowdMeter.Rates()
+	for i, r := range bgRates {
+		res.BackgroundRate = append(res.BackgroundRate, TimePoint{T: sim.Time(i+1) * cfg.BinWidth, V: r * 8})
+	}
+	for i, r := range crowdRates {
+		res.CrowdRate = append(res.CrowdRate, TimePoint{T: sim.Time(i+1) * cfg.BinWidth, V: r * 8})
+	}
+	res.RecoveryTime = recoveryTime(res.BackgroundRate, res.CrowdRate,
+		cfg.OutageAt+cfg.OutageDur, cfg.RecoverFrac*cfg.Rate)
+	if n := len(fcw.CompletionTimes); n > 0 {
+		var s sim.Time
+		for _, ct := range fcw.CompletionTimes {
+			s += ct
+		}
+		res.CrowdMeanCompletion = s / sim.Time(n)
+	}
+	return res
+}
+
+// recoveryTime scans the binned timelines for the first moment at or
+// after `from` where combined throughput sustains `target` bits/s for
+// two consecutive bins, returning the delay from `from` (-1: never).
+func recoveryTime(bg, crowd []TimePoint, from sim.Time, target float64) sim.Time {
+	streak := 0
+	for i, p := range bg {
+		v := p.V
+		if i < len(crowd) {
+			v += crowd[i].V
+		}
+		if p.T < from || v < target {
+			streak = 0
+			continue
+		}
+		streak++
+		if streak == 2 {
+			// Recovery dates from the start of the first qualifying bin.
+			return bg[i-1].T - from
+		}
+	}
+	return -1
+}
+
+// RenderOutage prints throughput timelines around the blackout plus the
+// recovery summary.
+func RenderOutage(cfg OutageConfig, res []OutageResult) string {
+	cfg.fill()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Outage recovery: bottleneck dark %.0f-%.0fs, flash crowd at t=%.0fs\n",
+		cfg.OutageAt, cfg.OutageAt+cfg.OutageDur, cfg.CrowdStart)
+	fmt.Fprintf(&b, "%7s", "t(s)")
+	for _, r := range res {
+		fmt.Fprintf(&b, " %14s %14s", r.Background+"/bg", "crowd")
+	}
+	b.WriteByte('\n')
+	from := cfg.OutageAt - 5
+	to := cfg.CrowdStart + 20
+	for i := range res[0].BackgroundRate {
+		t := res[0].BackgroundRate[i].T
+		if t < from || t > to {
+			continue
+		}
+		fmt.Fprintf(&b, "%7.1f", t)
+		for _, r := range res {
+			cv := 0.0
+			if i < len(r.CrowdRate) {
+				cv = r.CrowdRate[i].V
+			}
+			fmt.Fprintf(&b, " %14.2f %14.2f", r.BackgroundRate[i].V/1e6, cv/1e6)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+	for _, r := range res {
+		rec := "never"
+		if r.RecoveryTime >= 0 {
+			rec = fmt.Sprintf("%.1fs", r.RecoveryTime)
+		}
+		fmt.Fprintf(&b, "%-16s recovered to %.0f%% in %-7s outage cost %5d pkts; crowd: %4d transfers, mean latency %6.3fs\n",
+			r.Background, cfg.RecoverFrac*100, rec, r.OutageDrops, r.CrowdCompleted, r.CrowdMeanCompletion)
+	}
+	return b.String()
+}

@@ -30,6 +30,9 @@ type QueueDynamicsConfig struct {
 	DropTail bool
 	// Seed seeds each run.
 	Seed int64
+
+	// cell is the supervised-sweep context (see supervise.go).
+	cell *Cell
 }
 
 func (c *QueueDynamicsConfig) fill() {
@@ -77,13 +80,16 @@ type QueueDynamicsResult struct {
 // parallel.
 func QueueDynamics(cfg QueueDynamicsConfig) []QueueDynamicsResult {
 	cfg.fill()
-	return parallelMap(len(cfg.Algos), func(i int) QueueDynamicsResult {
-		return runQueueDynamics(cfg, cfg.Algos[i])
+	return supervisedMap(len(cfg.Algos), func(c *Cell) QueueDynamicsResult {
+		cc := cfg
+		cc.Seed = c.Seed(cc.Seed)
+		cc.cell = c
+		return runQueueDynamics(cc, cfg.Algos[c.Index()])
 	})
 }
 
 func runQueueDynamics(cfg QueueDynamicsConfig, algo AlgoSpec) QueueDynamicsResult {
-	eng, d := newScenario(cfg.Seed, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed, DropTail: cfg.DropTail})
+	eng, d := newScenario(cfg.cell, cfg.Seed, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed, DropTail: cfg.DropTail})
 	lossMon := metrics.NewLossMonitor(0.5)
 	lossMon.EnsureHorizon(cfg.Warmup + cfg.Measure)
 	d.LR.AddTap(lossMon.Tap())

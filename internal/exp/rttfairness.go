@@ -90,7 +90,7 @@ func wireTFRCAt(eng *sim.Engine, d *topology.Dumbbell, flow int, access sim.Time
 }
 
 func runRTTFairness(cfg RTTFairnessConfig, name string, wire wireAt) RTTFairnessResult {
-	eng, d := newScenario(cfg.Seed, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed})
+	eng, d := newScenario(nil, cfg.Seed, topology.Config{Rate: cfg.Rate, Seed: cfg.Seed})
 	startS, readS := wire(eng, d, 1, cfg.ShortAccess)
 	startL, readL := wire(eng, d, 2, cfg.LongAccess)
 	eng.At(0, startS)

@@ -29,6 +29,9 @@ type StaticCompatConfig struct {
 	Warmup, Measure sim.Time
 	// Seed seeds each run.
 	Seed int64
+
+	// cell is the supervised-sweep context (see supervise.go).
+	cell *Cell
 }
 
 func (c *StaticCompatConfig) fill() {
@@ -77,8 +80,11 @@ type StaticCompatPoint struct {
 func StaticCompat(cfg StaticCompatConfig) []StaticCompatPoint {
 	cfg.fill()
 	// TCP(1/2) baselines, one per loss rate.
-	baselines := parallelMap(len(cfg.DropEveryNth), func(i int) float64 {
-		return staticRun(cfg, TCPAlgo(0.5), cfg.DropEveryNth[i])
+	baselines := supervisedMap(len(cfg.DropEveryNth), func(c *Cell) float64 {
+		cc := cfg
+		cc.Seed = c.Seed(cc.Seed)
+		cc.cell = c
+		return staticRun(cc, TCPAlgo(0.5), cfg.DropEveryNth[c.Index()])
 	})
 	type job struct {
 		nIdx, aIdx int
@@ -89,14 +95,17 @@ func StaticCompat(cfg StaticCompatConfig) []StaticCompatPoint {
 			jobs = append(jobs, job{ni, ai})
 		}
 	}
-	return parallelMap(len(jobs), func(i int) StaticCompatPoint {
-		j := jobs[i]
+	return supervisedMap(len(jobs), func(c *Cell) StaticCompatPoint {
+		j := jobs[c.Index()]
 		n := cfg.DropEveryNth[j.nIdx]
 		a := cfg.Algos[j.aIdx]
 		p := 1 / float64(n)
 		tcpRate := baselines[j.nIdx]
 		model := tcpmodel.SimpleRate(p, 0.05, 1000) * 8
-		rate := staticRun(cfg, a, n)
+		cc := cfg
+		cc.Seed = c.Seed(cc.Seed)
+		cc.cell = c
+		rate := staticRun(cc, a, n)
 		pt := StaticCompatPoint{
 			Algo:    a.Name,
 			P:       p,
@@ -116,7 +125,7 @@ func StaticCompat(cfg StaticCompatConfig) []StaticCompatPoint {
 // staticRun measures one flow's post-warmup throughput in bits/s under
 // a drop-every-nth pattern.
 func staticRun(cfg StaticCompatConfig, algo AlgoSpec, n int) float64 {
-	eng, d := newScenario(cfg.Seed, topology.Config{
+	eng, d := newScenario(cfg.cell, cfg.Seed, topology.Config{
 		Rate:        cfg.Rate,
 		Seed:        cfg.Seed,
 		ForwardLoss: &netem.CountPattern{Intervals: []int{n - 1}},

@@ -1,0 +1,296 @@
+package exp
+
+import (
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"slowcc/internal/faults"
+	"slowcc/internal/obs"
+	"slowcc/internal/sim"
+)
+
+// CellPolicy governs how supervised sweep cells run. The zero value
+// means one attempt, no deadline, no flight dumps; DefaultCellPolicy is
+// what the package starts with.
+type CellPolicy struct {
+	// Retries is the number of extra attempts after the first, each on a
+	// fresh seed derived from the cell's own (deriveSeed), so a
+	// seed-sensitive numerical pathology gets a genuinely different run
+	// while attempt 0 stays bit-identical to an unsupervised run.
+	Retries int
+	// Deadline bounds each attempt's wall-clock time; 0 disables. A
+	// timed-out attempt is abandoned on its goroutine (which keeps
+	// running until its engine drains — pair the deadline with an engine
+	// Budget via SetRunBudget so runaways actually stop) and the cell
+	// reports a deadline RunError.
+	Deadline time.Duration
+	// FlightDir, when non-empty, makes every supervised scenario keep a
+	// flight recorder over its forward bottleneck and attaches a dump
+	// (cell-<index>-attempt-<n>.dump) to any panic's RunError.
+	FlightDir string
+	// FlightRing overrides the flight recorder ring size (0 = default).
+	FlightRing int
+}
+
+// DefaultCellPolicy is the package's starting policy: one retry on a
+// derived seed, no deadline, no dumps.
+func DefaultCellPolicy() CellPolicy { return CellPolicy{Retries: 1} }
+
+// RunError describes one degraded sweep cell: every attempt panicked or
+// timed out, and the sweep carried on without it.
+type RunError struct {
+	// Index is the sweep index of the degraded cell.
+	Index int
+	// Attempts is how many times the cell was tried.
+	Attempts int
+	// Value is the recovered panic value of the last attempt (nil for a
+	// deadline halt).
+	Value any
+	// Stack is the panicking goroutine's stack from the last attempt.
+	Stack string
+	// FlightDump is the path of the flight-recorder dump written for the
+	// last panicking attempt, when the policy enables dumps.
+	FlightDump string
+	// Deadline reports that the last attempt exceeded the cell deadline
+	// rather than panicking.
+	Deadline bool
+}
+
+// Error implements error.
+func (e *RunError) Error() string {
+	if e.Deadline {
+		return fmt.Sprintf("exp: sweep cell %d exceeded its deadline after %d attempts", e.Index, e.Attempts)
+	}
+	s := fmt.Sprintf("exp: sweep cell %d panicked after %d attempts: %v", e.Index, e.Attempts, e.Value)
+	if e.FlightDump != "" {
+		s += " (flight dump: " + e.FlightDump + ")"
+	}
+	return s
+}
+
+// Cell is the per-attempt context a supervised job runs under. Drivers
+// thread it into newScenario (via their config structs) so the
+// supervisor can attach a flight-recorder dump to a panic.
+type Cell struct {
+	index   int
+	attempt int
+	flight  *obs.FlightRecorder
+}
+
+// Index returns the sweep index this cell computes.
+func (c *Cell) Index() int { return c.index }
+
+// Attempt returns the zero-based attempt number.
+func (c *Cell) Attempt() int { return c.attempt }
+
+// Seed maps the cell's base seed to the seed this attempt should use:
+// attempt 0 returns base unchanged, so supervision never perturbs a
+// first run; retries get fresh, reproducible derived seeds.
+func (c *Cell) Seed(base int64) int64 {
+	if c == nil {
+		return base
+	}
+	return deriveSeed(base, c.attempt)
+}
+
+// deriveSeed maps (seed, attempt) onto a retry seed. Attempt 0 is the
+// identity; later attempts mix the attempt number through a SplitMix64
+// round so nearby seeds do not collide.
+func deriveSeed(seed int64, attempt int) int64 {
+	if attempt == 0 {
+		return seed
+	}
+	z := uint64(seed) + uint64(attempt)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// supervision holds the package-global sweep policy, run bounds, fault
+// wiring, and the degraded-cell collector. Like the audit collector it
+// is shared across engines because sweeps run cells concurrently.
+var supervision = struct {
+	mu     sync.Mutex
+	pol    CellPolicy
+	errs   []*RunError
+	budget *sim.Budget
+	fault  *faults.Config
+}{pol: CellPolicy{Retries: 1}}
+
+// SetSweepPolicy installs the cell policy used by supervised sweeps and
+// Supervise, returning the previous one so tests can restore it.
+func SetSweepPolicy(p CellPolicy) (prev CellPolicy) {
+	supervision.mu.Lock()
+	defer supervision.mu.Unlock()
+	prev = supervision.pol
+	supervision.pol = p
+	return prev
+}
+
+// SweepPolicy returns the current cell policy.
+func SweepPolicy() CellPolicy {
+	supervision.mu.Lock()
+	defer supervision.mu.Unlock()
+	return supervision.pol
+}
+
+// SweepErrors returns the degraded cells recorded by supervised sweeps
+// since the last reset, in sweep order.
+func SweepErrors() []*RunError {
+	supervision.mu.Lock()
+	defer supervision.mu.Unlock()
+	return append([]*RunError(nil), supervision.errs...)
+}
+
+// ResetSweepErrors clears the degraded-cell collector (test isolation).
+func ResetSweepErrors() {
+	supervision.mu.Lock()
+	defer supervision.mu.Unlock()
+	supervision.errs = nil
+}
+
+func recordSweepError(e *RunError) {
+	supervision.mu.Lock()
+	defer supervision.mu.Unlock()
+	supervision.errs = append(supervision.errs, e)
+}
+
+// SetRunBudget installs a sim.Budget that newScenario applies to every
+// engine it constructs (the -max-events / -deadline CLI path), or nil
+// to remove it. Returns the previous budget.
+func SetRunBudget(b *sim.Budget) (prev *sim.Budget) {
+	supervision.mu.Lock()
+	defer supervision.mu.Unlock()
+	prev = supervision.budget
+	supervision.budget = b
+	return prev
+}
+
+// SetFaultConfig installs a fault configuration that newScenario
+// attaches (as a fresh faults.Injector per engine) to every scenario's
+// forward bottleneck — the -fault CLI path. nil or a disabled config
+// removes it. Returns the previous config.
+func SetFaultConfig(fc *faults.Config) (prev *faults.Config) {
+	supervision.mu.Lock()
+	defer supervision.mu.Unlock()
+	prev = supervision.fault
+	supervision.fault = fc
+	return prev
+}
+
+func scenarioGlobals() (*sim.Budget, *faults.Config, CellPolicy) {
+	supervision.mu.Lock()
+	defer supervision.mu.Unlock()
+	return supervision.budget, supervision.fault, supervision.pol
+}
+
+// Supervise runs job as one supervised sweep cell under the current
+// policy: panics are recovered into a RunError (with a flight dump when
+// the policy wires one), a deadline abandons the attempt, and each
+// retry hands the job a Cell whose Seed derives a fresh seed. On
+// success the error is nil; callers that are not part of a sweep get
+// the error directly and nothing is recorded in SweepErrors.
+func Supervise[T any](index int, job func(c *Cell) T) (T, *RunError) {
+	return superviseCell(index, SweepPolicy(), job)
+}
+
+func superviseCell[T any](index int, pol CellPolicy, job func(c *Cell) T) (T, *RunError) {
+	attempts := pol.Retries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	var last *RunError
+	for a := 0; a < attempts; a++ {
+		v, rerr := runAttempt(index, a, pol, job)
+		if rerr == nil {
+			return v, nil
+		}
+		last = rerr
+	}
+	last.Attempts = attempts
+	var zero T
+	return zero, last
+}
+
+// runAttempt executes one attempt with panic recovery; with a deadline
+// it runs on its own goroutine so a hung cell can be abandoned.
+func runAttempt[T any](index, attempt int, pol CellPolicy, job func(c *Cell) T) (T, *RunError) {
+	c := &Cell{index: index, attempt: attempt}
+	type outcome struct {
+		v    T
+		rerr *RunError
+	}
+	res := make(chan outcome, 1) // buffered: an abandoned attempt still completes and is collected
+	run := func() {
+		var o outcome
+		defer func() {
+			if v := recover(); v != nil {
+				buf := make([]byte, 16384)
+				buf = buf[:runtime.Stack(buf, false)]
+				o = outcome{rerr: &RunError{
+					Index:      index,
+					Value:      v,
+					Stack:      string(buf),
+					FlightDump: dumpCellFlight(c, pol, v),
+				}}
+			}
+			res <- o
+		}()
+		o.v = job(c)
+	}
+	if pol.Deadline <= 0 {
+		run()
+		o := <-res
+		return o.v, o.rerr
+	}
+	go run()
+	select {
+	case o := <-res:
+		return o.v, o.rerr
+	case <-time.After(pol.Deadline):
+		var zero T
+		return zero, &RunError{Index: index, Deadline: true}
+	}
+}
+
+// dumpCellFlight writes the cell's flight-recorder ring next to the
+// panic, returning the dump path ("" when no recorder was wired or the
+// write failed — the RunError still reports the panic either way).
+func dumpCellFlight(c *Cell, pol CellPolicy, pv any) string {
+	if c.flight == nil || pol.FlightDir == "" {
+		return ""
+	}
+	path := filepath.Join(pol.FlightDir, fmt.Sprintf("cell-%d-attempt-%d.dump", c.index, c.attempt))
+	if err := c.flight.DumpFile(path, fmt.Sprintf("sweep cell %d attempt %d panicked: %v", c.index, c.attempt, pv)); err != nil {
+		return ""
+	}
+	return path
+}
+
+// supervisedMap is parallelMap with per-cell supervision: a cell whose
+// every attempt dies yields its zero value and a RunError in
+// SweepErrors (recorded in index order, deterministically) instead of
+// aborting the sweep. Figures 3-19 run their sweeps through it, so one
+// poisoned cell degrades one table entry rather than the whole run.
+func supervisedMap[T any](n int, fn func(c *Cell) T) []T {
+	pol := SweepPolicy()
+	type res struct {
+		v    T
+		rerr *RunError
+	}
+	cells := parallelMap(n, func(i int) res {
+		v, rerr := superviseCell(i, pol, fn)
+		return res{v, rerr}
+	})
+	out := make([]T, n)
+	for i, r := range cells {
+		out[i] = r.v
+		if r.rerr != nil {
+			recordSweepError(r.rerr)
+		}
+	}
+	return out
+}

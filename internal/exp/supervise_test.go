@@ -1,0 +1,250 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"slowcc/internal/sim"
+	"slowcc/internal/topology"
+)
+
+// withPolicy installs a sweep policy for the duration of a test and
+// restores the previous one (plus a clean error collector) afterwards.
+func withPolicy(t *testing.T, p CellPolicy) {
+	t.Helper()
+	prev := SetSweepPolicy(p)
+	ResetSweepErrors()
+	t.Cleanup(func() {
+		SetSweepPolicy(prev)
+		ResetSweepErrors()
+	})
+}
+
+// runCellScenario builds a real supervised scenario and pushes enough
+// traffic through the bottleneck that the cell's flight recorder has
+// events to dump.
+func runCellScenario(c *Cell, seed int64) {
+	eng, d := newScenario(c, seed, topology.Config{Rate: 1e6, Seed: seed})
+	f := TCPAlgo(0.5).Make(eng, d, 1)
+	eng.At(0, f.Sender.Start)
+	eng.RunUntil(2)
+}
+
+func TestSupervisePanicBecomesRunErrorWithFlightDump(t *testing.T) {
+	dir := t.TempDir()
+	withPolicy(t, CellPolicy{Retries: 0, FlightDir: dir})
+
+	_, rerr := Supervise(7, func(c *Cell) int {
+		runCellScenario(c, 1)
+		panic("poisoned cell")
+	})
+	if rerr == nil {
+		t.Fatal("panicking cell returned nil RunError")
+	}
+	if rerr.Index != 7 || rerr.Attempts != 1 || rerr.Deadline {
+		t.Fatalf("RunError = %+v, want Index 7, Attempts 1, no deadline", rerr)
+	}
+	if rerr.Value != "poisoned cell" {
+		t.Fatalf("RunError.Value = %v, want the panic value", rerr.Value)
+	}
+	if !strings.Contains(rerr.Stack, "runCellScenario") &&
+		!strings.Contains(rerr.Stack, "supervise_test") {
+		t.Fatalf("RunError.Stack does not mention the panicking frame:\n%s", rerr.Stack)
+	}
+	want := filepath.Join(dir, "cell-7-attempt-0.dump")
+	if rerr.FlightDump != want {
+		t.Fatalf("FlightDump = %q, want %q", rerr.FlightDump, want)
+	}
+	body, err := os.ReadFile(rerr.FlightDump)
+	if err != nil {
+		t.Fatalf("flight dump not written: %v", err)
+	}
+	if !strings.Contains(string(body), "poisoned cell") {
+		t.Fatalf("flight dump does not record the panic reason:\n%s", body)
+	}
+	// Supervise (non-sweep) must not pollute the sweep collector.
+	if errs := SweepErrors(); len(errs) != 0 {
+		t.Fatalf("Supervise recorded %d sweep errors, want 0", len(errs))
+	}
+}
+
+func TestSuperviseDeadlineHalt(t *testing.T) {
+	withPolicy(t, CellPolicy{Retries: 0, Deadline: 20 * time.Millisecond})
+
+	start := time.Now()
+	_, rerr := Supervise(3, func(c *Cell) int {
+		time.Sleep(500 * time.Millisecond)
+		return 42
+	})
+	if rerr == nil {
+		t.Fatal("over-deadline cell returned nil RunError")
+	}
+	if !rerr.Deadline || rerr.Index != 3 {
+		t.Fatalf("RunError = %+v, want Deadline on index 3", rerr)
+	}
+	if elapsed := time.Since(start); elapsed > 400*time.Millisecond {
+		t.Fatalf("supervisor waited %v for an abandoned cell", elapsed)
+	}
+	if !strings.Contains(rerr.Error(), "deadline") {
+		t.Fatalf("Error() = %q, want a deadline message", rerr.Error())
+	}
+}
+
+func TestSuperviseRetrySucceedsOnDerivedSeed(t *testing.T) {
+	withPolicy(t, CellPolicy{Retries: 1})
+
+	var seeds []int64
+	v, rerr := Supervise(0, func(c *Cell) int64 {
+		s := c.Seed(99)
+		seeds = append(seeds, s)
+		if c.Attempt() == 0 {
+			panic("seed-sensitive pathology")
+		}
+		return s
+	})
+	if rerr != nil {
+		t.Fatalf("retry did not rescue the cell: %v", rerr)
+	}
+	if len(seeds) != 2 {
+		t.Fatalf("cell ran %d attempts, want 2", len(seeds))
+	}
+	if seeds[0] != 99 {
+		t.Fatalf("attempt 0 seed = %d, want the base seed 99 (supervision must not perturb first runs)", seeds[0])
+	}
+	if seeds[1] == 99 {
+		t.Fatal("retry reused the base seed; want a derived one")
+	}
+	if v != seeds[1] {
+		t.Fatalf("returned value %d is not the successful attempt's, %d", v, seeds[1])
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	if got := deriveSeed(12345, 0); got != 12345 {
+		t.Fatalf("deriveSeed(s, 0) = %d, want identity", got)
+	}
+	seen := map[int64]bool{12345: true}
+	for a := 1; a <= 4; a++ {
+		s := deriveSeed(12345, a)
+		if seen[s] {
+			t.Fatalf("deriveSeed(12345, %d) = %d collides", a, s)
+		}
+		seen[s] = true
+	}
+	// Nearby base seeds must not collide either.
+	if deriveSeed(1, 1) == deriveSeed(2, 1) {
+		t.Fatal("adjacent seeds derive identically")
+	}
+}
+
+func TestSupervisedSweepSurvivesPoisonedCell(t *testing.T) {
+	dir := t.TempDir()
+	withPolicy(t, CellPolicy{Retries: 1, FlightDir: dir})
+
+	const n, poisoned = 5, 2
+	out := supervisedMap(n, func(c *Cell) int {
+		if c.Index() == poisoned {
+			runCellScenario(c, int64(c.Index()+1))
+			panic("cell is poisoned on every attempt")
+		}
+		return 100 + c.Index()
+	})
+
+	if len(out) != n {
+		t.Fatalf("sweep returned %d cells, want %d", len(out), n)
+	}
+	for i, v := range out {
+		want := 100 + i
+		if i == poisoned {
+			want = 0 // degraded cell yields the zero value
+		}
+		if v != want {
+			t.Fatalf("cell %d = %d, want %d", i, v, want)
+		}
+	}
+	errs := SweepErrors()
+	if len(errs) != 1 {
+		t.Fatalf("sweep recorded %d degraded cells, want exactly 1", len(errs))
+	}
+	e := errs[0]
+	if e.Index != poisoned || e.Attempts != 2 || e.Deadline {
+		t.Fatalf("RunError = %+v, want index %d after 2 attempts", e, poisoned)
+	}
+	if e.FlightDump == "" {
+		t.Fatal("degraded scenario cell has no flight dump")
+	}
+	if _, err := os.Stat(e.FlightDump); err != nil {
+		t.Fatalf("flight dump missing on disk: %v", err)
+	}
+	if !strings.Contains(e.FlightDump, "attempt-1") {
+		t.Fatalf("dump %q should come from the last attempt", e.FlightDump)
+	}
+	ResetSweepErrors()
+	if len(SweepErrors()) != 0 {
+		t.Fatal("ResetSweepErrors left errors behind")
+	}
+}
+
+// TestSupervisedDriverSweepPartialResults runs a real figure driver with
+// a run budget so tight every cell halts early, proving a degraded
+// configuration still yields a full-length, well-formed result slice.
+func TestSupervisedDriverSweepPartialResults(t *testing.T) {
+	withPolicy(t, CellPolicy{Retries: 0})
+	prev := SetRunBudget(&sim.Budget{MaxEvents: 5000})
+	defer SetRunBudget(prev)
+
+	res := Fig6(Fig6Config{
+		Backgrounds: []AlgoSpec{TCPAlgo(0.5), TFRCAlgo(TFRCOpts{K: 8})},
+		Flows:       2, Rate: 1e6, End: 30, Seed: 1,
+	})
+	if len(res) != 2 {
+		t.Fatalf("Fig6 returned %d results, want 2", len(res))
+	}
+	for i, r := range res {
+		if r.Background == "" {
+			t.Fatalf("result %d lost its background label under a budget halt", i)
+		}
+	}
+	if errs := SweepErrors(); len(errs) != 0 {
+		t.Fatalf("budget-halted (non-panicking) cells recorded errors: %v", errs)
+	}
+}
+
+func TestSuperviseDeadlinePairsWithBudget(t *testing.T) {
+	// The documented pairing: a deadline abandons the goroutine, and the
+	// engine budget guarantees the abandoned run terminates instead of
+	// spinning forever. Give the cell a generous event budget but a tiny
+	// wall budget plus a deadline, and check both trip.
+	withPolicy(t, CellPolicy{Retries: 0, Deadline: 10 * time.Millisecond})
+	prev := SetRunBudget(&sim.Budget{MaxWall: 5 * time.Millisecond})
+	defer SetRunBudget(prev)
+
+	done := make(chan struct{})
+	_, rerr := Supervise(0, func(c *Cell) int {
+		defer close(done)
+		eng := sim.New(1)
+		budget, _, _ := scenarioGlobals()
+		eng.SetBudget(budget)
+		var tick func()
+		tick = func() {
+			time.Sleep(50 * time.Microsecond)
+			eng.After(1e-6, tick)
+		}
+		eng.After(0, tick)
+		eng.RunUntil(1e9)
+		return 1
+	})
+	if rerr == nil || !rerr.Deadline {
+		t.Fatalf("want a deadline RunError, got %v", rerr)
+	}
+	select {
+	case <-done:
+		// The abandoned goroutine terminated because the wall budget
+		// halted its engine.
+	case <-time.After(5 * time.Second):
+		t.Fatal("abandoned cell never halted; the budget pairing is broken")
+	}
+}

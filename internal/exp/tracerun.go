@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"time"
 
+	"slowcc/internal/faults"
 	"slowcc/internal/obs"
 	"slowcc/internal/sim"
 	"slowcc/internal/topology"
@@ -30,6 +31,12 @@ type TraceRunConfig struct {
 	// disables probing (the sampler hook is still installed, so the
 	// disabled path is exercised — and benchmarked — exactly as wired).
 	ProbeInterval sim.Time
+	// FaultSpec, when non-empty and not "none", wires a fault injector
+	// (faults.ParseSpec syntax) onto the forward bottleneck. A disabled
+	// spec attaches nothing, so the wired-but-off run is event-for-event
+	// identical to one with no spec at all. Invalid specs panic — parse
+	// user input with faults.ParseSpec first.
+	FaultSpec string
 }
 
 func (c *TraceRunConfig) fill() {
@@ -67,7 +74,20 @@ type TraceRun struct {
 func NewTraceRun(cfg TraceRunConfig) *TraceRun {
 	cfg.fill()
 	eng := sim.New(cfg.Seed)
-	d := topology.New(eng, topology.Config{Rate: cfg.Rate, ECN: cfg.ECN, Seed: cfg.Seed})
+	tc := topology.Config{Rate: cfg.Rate, ECN: cfg.ECN, Seed: cfg.Seed}
+	if cfg.FaultSpec != "" {
+		fc, err := faults.ParseSpec(cfg.FaultSpec)
+		if err != nil {
+			panic(fmt.Sprintf("exp: TraceRunConfig.FaultSpec: %v", err))
+		}
+		if fc.Enabled() {
+			if fc.Seed == 0 {
+				fc.Seed = cfg.Seed
+			}
+			tc.Fault = faults.New(eng, fc)
+		}
+	}
+	d := topology.New(eng, tc)
 
 	r := &TraceRun{
 		Cfg:      cfg,
@@ -110,6 +130,9 @@ func (r *TraceRun) Manifest(tool string) *obs.Manifest {
 	m.Config["rate_bps"] = strconv.FormatFloat(r.Cfg.Rate, 'g', -1, 64)
 	m.Config["ecn"] = strconv.FormatBool(r.Cfg.ECN)
 	m.Config["probe_interval_s"] = strconv.FormatFloat(float64(r.Cfg.ProbeInterval), 'g', -1, 64)
+	if r.Cfg.FaultSpec != "" {
+		m.Config["fault"] = r.Cfg.FaultSpec
+	}
 	m.Events = r.Eng.Steps()
 	m.Counters = r.Registry.Snapshot()
 	if r.ran {

@@ -1,0 +1,156 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"slowcc/internal/netem"
+)
+
+// ParseSpec builds a Config from a compact spec string, the form the
+// -fault CLI flag uses: semicolon-separated clauses, each key:value.
+//
+//	none                      no faults (zero Config)
+//	down:25+5                 outage window: down at t=25s for 5s;
+//	                          comma-separate several (down:25+5,40+2)
+//	flap:30+2                 flapping: Exp(30s) up, Exp(2s) down
+//	corrupt:0.001             per-packet corruption probability
+//	dup:0.001                 per-packet duplication probability
+//	reorder:0.01+0.05         per-packet reorder probability + delay
+//	                          bound in seconds
+//	policy:queue|drop         what a down link does with arrivals
+//	seed:7                    dedicated fault RNG stream seed
+//
+// Example: "down:25+5;policy:queue;seed:1". A returned nil error
+// guarantees the Config passes Validate, so it is safe to hand to New.
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	if spec == "none" {
+		return cfg, nil
+	}
+	if spec == "" {
+		return cfg, fmt.Errorf("faults: empty spec (use \"none\" for no faults)")
+	}
+	for _, clause := range strings.Split(spec, ";") {
+		key, rest, ok := strings.Cut(clause, ":")
+		if !ok {
+			return Config{}, fmt.Errorf("faults: spec %q: clause %q is not key:value", spec, clause)
+		}
+		switch key {
+		case "down":
+			for _, w := range strings.Split(rest, ",") {
+				at, dur, err := parsePair(w)
+				if err != nil {
+					return Config{}, fmt.Errorf("faults: spec %q: down window %q: want <at>+<dur> seconds: %v", spec, w, err)
+				}
+				if !(at >= 0) {
+					return Config{}, fmt.Errorf("faults: spec %q: down window %q starts before t=0", spec, w)
+				}
+				if !(dur > 0) {
+					return Config{}, fmt.Errorf("faults: spec %q: down window %q needs a positive duration", spec, w)
+				}
+				cfg.Windows = append(cfg.Windows, Window{At: at, Dur: dur})
+			}
+		case "flap":
+			up, down, err := parsePair(rest)
+			if err != nil {
+				return Config{}, fmt.Errorf("faults: spec %q: flap %q: want <meanUp>+<meanDown> seconds: %v", spec, rest, err)
+			}
+			if !(up > 0) || !(down > 0) {
+				return Config{}, fmt.Errorf("faults: spec %q: flap means must be positive", spec)
+			}
+			cfg.Flap = &Flap{MeanUp: up, MeanDown: down}
+		case "corrupt":
+			p, err := parseProb(rest)
+			if err != nil {
+				return Config{}, fmt.Errorf("faults: spec %q: corrupt: %v", spec, err)
+			}
+			cfg.CorruptProb = p
+		case "dup":
+			p, err := parseProb(rest)
+			if err != nil {
+				return Config{}, fmt.Errorf("faults: spec %q: dup: %v", spec, err)
+			}
+			cfg.DupProb = p
+		case "reorder":
+			p, delay, err := parsePair(rest)
+			if err != nil {
+				return Config{}, fmt.Errorf("faults: spec %q: reorder %q: want <prob>+<delay>: %v", spec, rest, err)
+			}
+			if !(p >= 0 && p <= 1) {
+				return Config{}, fmt.Errorf("faults: spec %q: reorder probability %v outside [0,1]", spec, p)
+			}
+			if p > 0 && !(delay > 0) {
+				return Config{}, fmt.Errorf("faults: spec %q: reorder delay must be positive", spec)
+			}
+			cfg.ReorderProb, cfg.ReorderDelay = p, delay
+		case "policy":
+			switch rest {
+			case "queue":
+				cfg.Policy = netem.DownQueue
+			case "drop":
+				cfg.Policy = netem.DownDrop
+			default:
+				return Config{}, fmt.Errorf("faults: spec %q: policy %q (want queue or drop)", spec, rest)
+			}
+		case "seed":
+			n, err := strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("faults: spec %q: seed %q is not an integer", spec, rest)
+			}
+			cfg.Seed = n
+		case "none":
+			return Config{}, fmt.Errorf("faults: spec %q: none cannot combine with other clauses", spec)
+		default:
+			return Config{}, fmt.Errorf("faults: spec %q: unknown clause %q (want down, flap, corrupt, dup, reorder, policy, or seed)", spec, key)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, fmt.Errorf("faults: spec %q: %v", spec, err)
+	}
+	return cfg, nil
+}
+
+// parsePair parses "a+b" into two finite floats.
+func parsePair(s string) (float64, float64, error) {
+	aStr, bStr, ok := strings.Cut(s, "+")
+	if !ok {
+		return 0, 0, fmt.Errorf("missing +")
+	}
+	a, err := parseFinite(aStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := parseFinite(bStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	return a, b, nil
+}
+
+// parseFinite parses a finite float64; Inf and NaN are rejected so a
+// spec can never smuggle a non-finite time into the scheduler.
+func parseFinite(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite number %q", s)
+	}
+	return v, nil
+}
+
+// parseProb parses a probability in [0,1].
+func parseProb(s string) (float64, error) {
+	v, err := parseFinite(s)
+	if err != nil {
+		return 0, err
+	}
+	if !(v >= 0 && v <= 1) {
+		return 0, fmt.Errorf("probability %v outside [0,1]", v)
+	}
+	return v, nil
+}

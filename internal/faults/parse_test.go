@@ -1,0 +1,124 @@
+package faults_test
+
+import (
+	"testing"
+
+	"slowcc/internal/faults"
+	"slowcc/internal/netem"
+	"slowcc/internal/sim"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		ok   bool
+	}{
+		{"none", true},
+		{"down:25+5", true},
+		{"down:25+5,40+2", true},
+		{"down:0+0.5", true},
+		{"flap:30+2", true},
+		{"corrupt:0.001", true},
+		{"dup:0", true},
+		{"reorder:0.01+0.05", true},
+		{"reorder:0+0", true}, // zero prob needs no delay
+		{"down:25+5;policy:queue;seed:1", true},
+		{"down:25+5;policy:drop;corrupt:0.01;dup:0.01;reorder:0.1+0.02;flap:10+1;seed:-3", true},
+		{"", false},
+		{"none;down:25+5", false},
+		{"down:25+5;none", false},
+		{"down:", false},
+		{"down:25", false},
+		{"down:-1+5", false},
+		{"down:25+0", false},
+		{"down:25+-1", false},
+		{"down:Inf+5", false},
+		{"down:25+Inf", false},
+		{"down:NaN+5", false},
+		{"down:1e308+1e308", false}, // end overflows to +Inf
+		{"flap:0+1", false},
+		{"flap:1+0", false},
+		{"flap:1", false},
+		{"corrupt:1.5", false},
+		{"corrupt:-0.1", false},
+		{"corrupt:NaN", false},
+		{"dup:x", false},
+		{"reorder:0.5", false},
+		{"reorder:0.5+0", false},
+		{"reorder:1.5+0.1", false},
+		{"policy:both", false},
+		{"policy:", false},
+		{"seed:1.5", false},
+		{"seed:x", false},
+		{"blackout:25+5", false},
+		{"down", false},
+	}
+	for _, c := range cases {
+		cfg, err := faults.ParseSpec(c.spec)
+		if c.ok && err != nil {
+			t.Errorf("ParseSpec(%q) failed: %v", c.spec, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseSpec(%q) accepted %+v, want error", c.spec, cfg)
+		}
+	}
+}
+
+func TestParseSpecFields(t *testing.T) {
+	cfg, err := faults.ParseSpec("down:25+5,40+2;policy:drop;corrupt:0.01;reorder:0.1+0.02;seed:7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := faults.Config{
+		Seed:        7,
+		Windows:     []faults.Window{{At: 25, Dur: 5}, {At: 40, Dur: 2}},
+		Policy:      netem.DownDrop,
+		CorruptProb: 0.01,
+		ReorderProb: 0.1, ReorderDelay: 0.02,
+	}
+	if len(cfg.Windows) != 2 || cfg.Windows[0] != want.Windows[0] || cfg.Windows[1] != want.Windows[1] {
+		t.Fatalf("windows %+v, want %+v", cfg.Windows, want.Windows)
+	}
+	if cfg.Seed != want.Seed || cfg.Policy != want.Policy ||
+		cfg.CorruptProb != want.CorruptProb || cfg.DupProb != want.DupProb ||
+		cfg.ReorderProb != want.ReorderProb || cfg.ReorderDelay != want.ReorderDelay ||
+		cfg.Flap != nil {
+		t.Fatalf("parsed %+v, want %+v", cfg, want)
+	}
+	if !cfg.Enabled() {
+		t.Fatal("parsed fault config reports disabled")
+	}
+	none, err := faults.ParseSpec("none")
+	if err != nil || none.Enabled() {
+		t.Fatalf("ParseSpec(none) = %+v, %v; want disabled config", none, err)
+	}
+}
+
+// FuzzParseSpec: the parser must never panic, and any spec it accepts
+// must yield a Config that Validate passes and New accepts — i.e. the
+// parser is the complete gatekeeper for CLI input.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"none", "down:25+5", "down:25+5,40+2;policy:drop",
+		"flap:30+2;seed:9", "corrupt:0.001;dup:0.001",
+		"reorder:0.01+0.05", "down:0.5+0.5;flap:1+1;corrupt:1;dup:1;reorder:1+1;policy:queue;seed:-1",
+		"down:1e-9+1e-9", "seed:9223372036854775807",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		cfg, err := faults.ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("ParseSpec(%q) accepted a config Validate rejects: %v", spec, verr)
+		}
+		in := faults.New(sim.New(1), cfg) // must not panic
+		if cfg.Enabled() != (len(cfg.Windows) > 0 || cfg.Flap != nil ||
+			cfg.CorruptProb > 0 || cfg.DupProb > 0 || cfg.ReorderProb > 0) {
+			t.Fatalf("Enabled() inconsistent for %+v", cfg)
+		}
+		_ = in
+	})
+}

@@ -182,10 +182,12 @@ func (a *Auditor) AuditLink(l *netem.Link, now sim.Time) {
 			s.Arrivals, s.Drops, s.Departures, l.Q.Len(), inTx, diff)
 	}
 	if r, ok := l.Q.(*netem.RED); ok {
-		if r.EarlyDrops+r.ForcedDrops != s.Drops {
+		// Down-link drops refuse the packet before the qdisc sees it, so
+		// they are the one slice of link drops RED cannot decompose.
+		if r.EarlyDrops+r.ForcedDrops != s.Drops-s.DownDrops {
 			a.record("red-split", name,
-				"early=%d + forced=%d != link drops=%d",
-				r.EarlyDrops, r.ForcedDrops, s.Drops)
+				"early=%d + forced=%d != link drops=%d - down drops=%d",
+				r.EarlyDrops, r.ForcedDrops, s.Drops, s.DownDrops)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"fmt"
 	"math/rand"
 
 	"slowcc/internal/sim"
@@ -10,13 +11,32 @@ import (
 type LinkStats struct {
 	// Arrivals is the number of packets offered to the link.
 	Arrivals int64
-	// Drops is the number of packets the queue refused.
+	// Drops is the number of packets the queue refused, plus packets
+	// refused at the link entry while the link was down under DownDrop.
 	Drops int64
+	// DownDrops is the subset of Drops refused because the link was down
+	// (DownDrop policy only; DownQueue losses surface as queue drops).
+	DownDrops int64
 	// Departures is the number of packets fully transmitted.
 	Departures int64
 	// Bytes is the number of payload bytes fully transmitted.
 	Bytes int64
 }
+
+// DownPolicy selects what a down link does with arriving packets.
+type DownPolicy uint8
+
+const (
+	// DownQueue (the default) keeps accepting arrivals into the queue
+	// while the link is down; transmission stalls, so sustained outages
+	// fill the buffer and shed load through the queue's own drop
+	// discipline (RED or tail-drop) — the "queue then drop" behavior of
+	// a router whose egress interface lost carrier.
+	DownQueue DownPolicy = iota
+	// DownDrop refuses every arrival at the link entry while down, as if
+	// the path had been withdrawn: nothing is buffered across the outage.
+	DownDrop
+)
 
 // Tap observes every packet offered to a link before the queue sees it,
 // along with whether it was accepted. Metrics collectors attach taps to
@@ -70,6 +90,11 @@ type Link struct {
 
 	taps []Tap
 	busy bool
+	// down and downPolicy hold the link's outage state (see SetDown).
+	down       bool
+	downPolicy DownPolicy
+	// Transitions counts SetDown/SetUp state changes (flap visibility).
+	Transitions int64
 
 	// finishFn and deliverFn are the per-packet timer callbacks, bound
 	// once here so the hot path schedules them through AfterFunc with the
@@ -91,8 +116,49 @@ func NewLink(eng *sim.Engine, rate float64, delay sim.Time, q Queue, dst Handler
 // link, in registration order.
 func (l *Link) AddTap(t Tap) { l.taps = append(l.taps, t) }
 
-// TxTime returns the serialization time of a packet of n bytes.
-func (l *Link) TxTime(n int) sim.Time { return float64(n) * 8 / l.Rate }
+// TxTime returns the serialization time of a packet of n bytes. A
+// non-positive Rate panics: dividing by it would schedule the
+// transmission completion at +Inf (or a negative time) and corrupt the
+// event heap far from the root cause. Model an outage with SetDown
+// instead of zeroing Rate.
+func (l *Link) TxTime(n int) sim.Time {
+	if l.Rate <= 0 {
+		panic(fmt.Sprintf("netem: TxTime on link with non-positive rate %v bits/s (model outages with Link.SetDown, not Rate=0)", l.Rate))
+	}
+	return float64(n) * 8 / l.Rate
+}
+
+// Down reports whether the link is currently in the outage state.
+func (l *Link) Down() bool { return l.down }
+
+// SetDown takes the link down with the given arrival policy. A packet
+// already being serialized finishes and propagates (its bits were on
+// the wire); nothing further transmits until SetUp. Calling SetDown on
+// a down link only updates the policy.
+func (l *Link) SetDown(policy DownPolicy) {
+	l.downPolicy = policy
+	if l.down {
+		return
+	}
+	l.down = true
+	l.Transitions++
+}
+
+// SetUp restores the link. Queued packets resume transmitting
+// immediately, in order. Calling SetUp on an up link is a no-op.
+func (l *Link) SetUp() {
+	if !l.down {
+		return
+	}
+	l.down = false
+	l.Transitions++
+	if !l.busy {
+		l.startTx()
+	}
+	if l.Audit != nil {
+		l.Audit.AuditLink(l, l.eng.Now())
+	}
+}
 
 // Handle implements Handler: offering a packet to the link enqueues it
 // (or drops it) and kicks the transmitter if idle. This lets links chain
@@ -105,9 +171,24 @@ func (l *Link) Handle(p *Packet) { l.Send(p) }
 func (l *Link) Busy() bool { return l.busy }
 
 // Send offers p to the link and reports whether the queue accepted it.
+// While the link is down under DownDrop, every arrival is refused at
+// the entry (taps observe it as not accepted); under DownQueue arrivals
+// keep queueing and the queue's own discipline sheds the overflow.
 func (l *Link) Send(p *Packet) bool {
 	now := l.eng.Now()
 	l.Stats.Arrivals++
+	if l.down && l.downPolicy == DownDrop {
+		for _, t := range l.taps {
+			t(p, false, now)
+		}
+		l.Stats.Drops++
+		l.Stats.DownDrops++
+		if l.Audit != nil {
+			l.Audit.AuditLink(l, now)
+		}
+		l.Pool.Put(p)
+		return false
+	}
 	ok := l.Q.Enqueue(p, now)
 	for _, t := range l.taps {
 		t(p, ok, now)
@@ -130,8 +211,13 @@ func (l *Link) Send(p *Packet) bool {
 }
 
 // startTx pulls the next packet from the queue and schedules its
-// transmission completion.
+// transmission completion. A down link leaves the queue untouched; the
+// transmitter restarts from SetUp.
 func (l *Link) startTx() {
+	if l.down {
+		l.busy = false
+		return
+	}
 	p := l.Q.Dequeue(l.eng.Now())
 	if p == nil {
 		l.busy = false

@@ -1,0 +1,65 @@
+package netem
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParsePattern builds a DropPattern from a compact spec string, the
+// form the CLI flags use:
+//
+//	none                      no scripted loss (returns a nil pattern)
+//	count:50,50,50,400        CountPattern: one drop after each listed
+//	                          number of arrivals, cycling
+//	timed:6x200,1x4           TimedPattern: phases of <seconds>x<everyNth>;
+//	                          everyNth 0 disables dropping in that phase
+//
+// The paper's Figure 18 pattern, for example, is "timed:6x200,1x4".
+func ParsePattern(spec string) (DropPattern, error) {
+	kind, rest, _ := strings.Cut(spec, ":")
+	switch kind {
+	case "none":
+		if rest != "" {
+			return nil, fmt.Errorf("netem: pattern %q: none takes no arguments", spec)
+		}
+		return nil, nil
+	case "count":
+		if rest == "" {
+			return nil, fmt.Errorf("netem: pattern %q: count needs at least one interval", spec)
+		}
+		var intervals []int
+		for _, f := range strings.Split(rest, ",") {
+			n, err := strconv.Atoi(f)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("netem: pattern %q: bad interval %q (want a non-negative packet count)", spec, f)
+			}
+			intervals = append(intervals, n)
+		}
+		return &CountPattern{Intervals: intervals}, nil
+	case "timed":
+		if rest == "" {
+			return nil, fmt.Errorf("netem: pattern %q: timed needs at least one <seconds>x<everyNth> phase", spec)
+		}
+		var phases []TimedPhase
+		for _, f := range strings.Split(rest, ",") {
+			durStr, nthStr, ok := strings.Cut(f, "x")
+			if !ok {
+				return nil, fmt.Errorf("netem: pattern %q: phase %q is not <seconds>x<everyNth>", spec, f)
+			}
+			dur, err := strconv.ParseFloat(durStr, 64)
+			if err != nil || !(dur > 0) || math.IsInf(dur, 0) {
+				return nil, fmt.Errorf("netem: pattern %q: phase %q needs a positive finite duration", spec, f)
+			}
+			nth, err := strconv.Atoi(nthStr)
+			if err != nil || nth < 0 {
+				return nil, fmt.Errorf("netem: pattern %q: phase %q needs a non-negative everyNth", spec, f)
+			}
+			phases = append(phases, TimedPhase{Duration: dur, EveryNth: nth})
+		}
+		return &TimedPattern{Phases: phases}, nil
+	default:
+		return nil, fmt.Errorf("netem: pattern %q: unknown kind %q (want none, count, or timed)", spec, kind)
+	}
+}

@@ -1,6 +1,10 @@
 package netem
 
-import "slowcc/internal/sim"
+import (
+	"math"
+
+	"slowcc/internal/sim"
+)
 
 // DropPattern scripts deterministic packet drops. The smoothness
 // experiments (paper Figures 17-19) subject a single flow to a repeating,
@@ -71,10 +75,30 @@ func (t *TimedPattern) Drop(now sim.Time) bool {
 		t.started = true
 		t.phaseEnd = now + t.Phases[0].Duration
 	}
-	for now >= t.phaseEnd {
-		t.idx = (t.idx + 1) % len(t.Phases)
-		t.phaseEnd += t.Phases[t.idx].Duration
-		t.cnt = 0
+	if now >= t.phaseEnd {
+		// Fast-forward whole cycles in O(1): a gap of many cycles (an
+		// idle flow resuming, or pathologically tiny phases) must not
+		// cost one loop iteration per elapsed phase. Whole cycles leave
+		// idx unchanged, so only the sub-cycle remainder walks phases.
+		var cycle sim.Time
+		for _, ph := range t.Phases {
+			cycle += ph.Duration
+		}
+		if behind := now - t.phaseEnd; cycle > 0 && behind >= cycle {
+			t.phaseEnd += math.Floor(behind/cycle) * cycle
+		}
+		for i := 0; now >= t.phaseEnd; i++ {
+			t.idx = (t.idx + 1) % len(t.Phases)
+			t.phaseEnd += t.Phases[t.idx].Duration
+			t.cnt = 0
+			if i >= 2*len(t.Phases) {
+				// Duration underflows float addition at this magnitude
+				// (phaseEnd += d no longer advances); re-anchor on now so
+				// Drop always makes forward progress instead of spinning.
+				t.phaseEnd = now + t.Phases[t.idx].Duration
+				break
+			}
+		}
 	}
 	n := t.Phases[t.idx].EveryNth
 	if n <= 0 {

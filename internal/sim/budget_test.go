@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tick builds a self-rescheduling event chain advancing dt per event.
+func tick(e *Engine, dt Time) {
+	var fn func()
+	fn = func() { e.After(dt, fn) }
+	e.After(dt, fn)
+}
+
+func TestRunBoundedMaxEvents(t *testing.T) {
+	e := New(1)
+	tick(e, 1)
+	hr := e.RunBounded(Budget{MaxEvents: 100})
+	if hr.Cause != HaltEvents {
+		t.Fatalf("cause %v, want %v", hr.Cause, HaltEvents)
+	}
+	if hr.Events != 100 || e.Steps() != 100 {
+		t.Fatalf("executed %d/%d events, want 100", hr.Events, e.Steps())
+	}
+	if hr.SimTime != 100 || e.Now() != 100 {
+		t.Fatalf("halted at t=%v, want 100", hr.SimTime)
+	}
+	if !strings.Contains(hr.String(), "max-events") {
+		t.Fatalf("HaltReason %q does not name the cause", hr)
+	}
+}
+
+func TestRunBoundedMaxSimTime(t *testing.T) {
+	e := New(1)
+	tick(e, 1)
+	e.At(10, func() {}) // lands exactly on the bound: must run
+	hr := e.RunBounded(Budget{MaxSimTime: 10})
+	if hr.Cause != HaltSimTime {
+		t.Fatalf("cause %v, want %v", hr.Cause, HaltSimTime)
+	}
+	// Ticks at 1..10 plus the extra event at 10: all 11 events <= bound.
+	if hr.Events != 11 {
+		t.Fatalf("executed %d events, want 11 (events at the bound run)", hr.Events)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock %v, want 10", e.Now())
+	}
+	if e.Pending() == 0 {
+		t.Fatal("events beyond the bound must stay queued")
+	}
+}
+
+func TestRunBoundedMaxWall(t *testing.T) {
+	e := New(1)
+	var fn func()
+	fn = func() { time.Sleep(20 * time.Microsecond); e.After(1, fn) }
+	e.After(1, fn)
+	hr := e.RunBounded(Budget{MaxWall: 20 * time.Millisecond})
+	if hr.Cause != HaltWall {
+		t.Fatalf("cause %v, want %v", hr.Cause, HaltWall)
+	}
+	if hr.Wall < 20*time.Millisecond {
+		t.Fatalf("halted after %v wall, before the budget", hr.Wall)
+	}
+}
+
+func TestRunBoundedDone(t *testing.T) {
+	e := New(1)
+	for i := 1; i <= 5; i++ {
+		e.At(Time(i), func() {})
+	}
+	hr := e.RunBounded(Budget{MaxEvents: 1000, MaxSimTime: 1000})
+	if hr.Cause != HaltDone || hr.Events != 5 || hr.SimTime != 5 {
+		t.Fatalf("got %v, want done after 5 events at t=5", hr)
+	}
+	if e.Halted() != nil {
+		t.Fatal("RunBounded must restore the previously-installed (nil) budget")
+	}
+}
+
+// SetBudget bounds plain RunUntil driver loops, and a budget that
+// halted once halts every later leg instead of creeping past its
+// limit in installments.
+func TestBudgetBoundsRunUntil(t *testing.T) {
+	e := New(1)
+	tick(e, 1)
+	e.SetBudget(&Budget{MaxEvents: 50})
+	e.RunUntil(1000)
+	if e.Steps() != 50 {
+		t.Fatalf("executed %d events, want 50", e.Steps())
+	}
+	if e.Now() != 50 {
+		t.Fatalf("clock advanced to %v; a halted run must not jump to the horizon", e.Now())
+	}
+	hr := e.Halted()
+	if hr == nil || hr.Cause != HaltEvents {
+		t.Fatalf("Halted() = %v, want max-events", hr)
+	}
+	e.RunUntil(2000)
+	if e.Steps() != 50 {
+		t.Fatalf("second leg executed %d more events past an exhausted budget", e.Steps()-50)
+	}
+	e.SetBudget(nil)
+	if e.Halted() != nil {
+		t.Fatal("removing the budget must clear Halted")
+	}
+}
+
+func TestBudgetRunUntilNormalCompletion(t *testing.T) {
+	e := New(1)
+	e.At(1, func() {})
+	e.SetBudget(&Budget{MaxEvents: 1000})
+	e.RunUntil(30)
+	if e.Now() != 30 {
+		t.Fatalf("clock %v, want 30 (unhalted RunUntil advances to the horizon)", e.Now())
+	}
+	if e.Halted() != nil {
+		t.Fatalf("Halted() = %v on a run inside budget", e.Halted())
+	}
+}
+
+// The livelock watchdog must route through the crash hook (so a flight
+// recorder can dump) before panicking.
+func TestLivelockWatchdog(t *testing.T) {
+	e := New(1)
+	var hooked string
+	e.SetCrashHook(func(reason string) { hooked = reason })
+	var fn func()
+	fn = func() { e.At(e.Now(), fn) } // reschedules at now forever
+	e.At(1, fn)
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("livelock did not panic")
+		}
+		msg, _ := v.(string)
+		if !strings.Contains(msg, "livelock") {
+			t.Fatalf("panic %q does not name the livelock", msg)
+		}
+		if hooked != msg {
+			t.Fatalf("crash hook saw %q, want the livelock reason", hooked)
+		}
+		if e.Steps() < 1000 {
+			t.Fatalf("tripped after %d events, threshold 1000", e.Steps())
+		}
+	}()
+	e.RunBounded(Budget{LivelockEvents: 1000})
+}
+
+// Progress resets the watchdog: a burst of same-time events below the
+// threshold is fine as long as the clock eventually advances.
+func TestLivelockWatchdogResetsOnProgress(t *testing.T) {
+	e := New(1)
+	for i := 1; i <= 20; i++ {
+		at := Time(i)
+		for j := 0; j < 500; j++ { // 500 same-time events per tick
+			e.At(at, func() {})
+		}
+	}
+	hr := e.RunBounded(Budget{LivelockEvents: 1000})
+	if hr.Cause != HaltDone || hr.Events != 20*500 {
+		t.Fatalf("got %v, want clean completion of 10000 events", hr)
+	}
+}

@@ -117,6 +117,9 @@ type Engine struct {
 	// installed (or the installed one asked never to be called again).
 	probeAt Time
 	crash   func(reason string)
+	// budget, when non-nil, bounds Run/RunUntil (see Budget). One pointer
+	// check per run leg when absent.
+	budget *budgetState
 
 	// Scheduler counters, maintained unconditionally: plain integer
 	// increments on paths that already touch the same cache lines, so
@@ -350,16 +353,28 @@ func (e *Engine) step() bool {
 
 // Run executes events until none remain. Most scenarios instead use
 // RunUntil with an explicit horizon because traffic sources reschedule
-// themselves forever.
+// themselves forever. An installed Budget (SetBudget) can stop the run
+// early; check Halted afterwards.
 func (e *Engine) Run() {
+	if e.budget != nil {
+		e.runBudgeted(math.Inf(1))
+		return
+	}
 	for e.step() {
 	}
 }
 
 // RunUntil executes events with timestamps <= t and then advances the
 // clock to exactly t. Events scheduled at t run; events after t stay
-// queued for a later call.
+// queued for a later call. If an installed Budget halts the run, the
+// clock stays where the halt left it (check Halted).
 func (e *Engine) RunUntil(t Time) {
+	if e.budget != nil {
+		if e.runBudgeted(t) && t > e.now {
+			e.now = t
+		}
+		return
+	}
 	for len(e.events) > 0 && e.events[0].at <= t {
 		e.step()
 	}

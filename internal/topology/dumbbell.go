@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"slowcc/internal/faults"
 	"slowcc/internal/invariant"
 	"slowcc/internal/netem"
 	"slowcc/internal/obs"
@@ -55,6 +56,14 @@ type Config struct {
 	// Seed seeds the RED generators (they draw from a dedicated RNG so
 	// endpoint randomness does not perturb queue randomness).
 	Seed int64
+	// Fault, when non-nil, is attached to the forward bottleneck: its
+	// outage windows and flapping drive LR's down/up state, and its
+	// probabilistic faults (corruption, duplication, reordering) wrap
+	// the point where packets are offered to LR — after the scripted
+	// ForwardLoss filter, so designed loss patterns see the offered
+	// stream. A disabled injector attaches nothing and the topology is
+	// wired exactly as without one.
+	Fault *faults.Injector
 	// Audit, when non-nil, registers every link the dumbbell creates
 	// (both bottlenecks and all per-flow access links) with the given
 	// invariant auditor, so packet conservation is checked at every
@@ -184,8 +193,13 @@ func New(eng *sim.Engine, cfg Config) *Dumbbell {
 		cfg.Audit.WatchLink("RL", d.RL)
 	}
 	d.lrEntry = d.LR
+	if cfg.Fault != nil {
+		// The injector's wrapper sits where packets are offered to LR, so
+		// the loss filter (below) feeds faults, not the other way around.
+		d.lrEntry = cfg.Fault.Attach(d.LR, d.lrEntry, d.Pool)
+	}
 	if cfg.ForwardLoss != nil {
-		d.Filter = &netem.LossFilter{Pattern: cfg.ForwardLoss, Next: d.LR, Now: eng.Now, Pool: d.Pool}
+		d.Filter = &netem.LossFilter{Pattern: cfg.ForwardLoss, Next: d.lrEntry, Now: eng.Now, Pool: d.Pool}
 		d.lrEntry = d.Filter
 	}
 	return d

@@ -38,6 +38,7 @@ import (
 	"io"
 
 	"slowcc/internal/exp"
+	"slowcc/internal/faults"
 	"slowcc/internal/metrics"
 	"slowcc/internal/netem"
 	"slowcc/internal/obs"
@@ -120,6 +121,27 @@ type TimedPattern = netem.TimedPattern
 
 // TimedPhase is one phase of a TimedPattern.
 type TimedPhase = netem.TimedPhase
+
+// FaultConfig describes deterministic fault injection at a link:
+// outage windows, up/down flapping, and probabilistic corruption,
+// duplication, and reordering. The zero value is disabled.
+type FaultConfig = faults.Config
+
+// FaultInjector applies a FaultConfig to a link from its own seeded RNG
+// stream; wired but disabled it attaches nothing, so the run is
+// event-for-event identical to an uninstrumented one.
+type FaultInjector = faults.Injector
+
+// FaultWindow is one scheduled outage.
+type FaultWindow = faults.Window
+
+// NewFaultInjector returns an injector for eng; pass it as
+// DumbbellConfig.Fault. Panics if cfg is invalid (see ParseFaultSpec).
+func NewFaultInjector(eng *Engine, cfg FaultConfig) *FaultInjector { return faults.New(eng, cfg) }
+
+// ParseFaultSpec parses the CLI fault syntax, e.g.
+// "down:25+5;corrupt:0.001;seed:7" or "none".
+func ParseFaultSpec(spec string) (FaultConfig, error) { return faults.ParseSpec(spec) }
 
 // LossMonitor tallies arrivals and drops at a link in time bins.
 type LossMonitor = metrics.LossMonitor
