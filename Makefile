@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke bench-json report-smoke fuzz-smoke
+.PHONY: ci vet build test race bench bench-smoke bench-json report-smoke fuzz-smoke matrix-smoke
 
 # ci is the gate future PRs run: static checks, a full build, the
 # complete test suite under the race detector, and a single-iteration
@@ -10,7 +10,7 @@ GO ?= go
 # so packet-accounting regressions fail here even when no figure-level
 # assertion notices them; -race additionally exercises parallelMap's
 # worker pool.
-ci: vet build race bench-smoke report-smoke fuzz-smoke
+ci: vet build race bench-smoke report-smoke matrix-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -46,6 +46,19 @@ report-smoke:
 		-manifest .report-smoke/run.json > /dev/null
 	$(GO) run ./cmd/slowccreport -probes .report-smoke/run.probes.tsv .report-smoke/run.json
 	rm -rf .report-smoke
+
+# matrix-smoke drives the pairwise interaction matrix end to end through
+# the real binary: a 2x2 algorithm subset on a 2-hop parking lot, all
+# three conditions, supervised, with -fail-degraded so any degraded cell
+# (a panicked or hung sweep attempt) fails ci rather than degrading
+# silently, and the TSV artifact + manifest round-trip through disk.
+matrix-smoke:
+	rm -rf .matrix-smoke && mkdir -p .matrix-smoke
+	$(GO) run ./cmd/slowccsim -exp matrix -matrix 'tcp:0.5,tfrc:8' \
+		-topology parking-lot:2 -fail-degraded \
+		-tsv .matrix-smoke/matrix.tsv -manifest .matrix-smoke/run.json > /dev/null
+	test -s .matrix-smoke/matrix.tsv
+	rm -rf .matrix-smoke
 
 # fuzz-smoke gives each parser fuzz target a few seconds of coverage-
 # guided input on every ci run — long enough to re-find shallow

@@ -352,6 +352,37 @@ func BenchmarkEnginePacketsPerSecondFaultsOff(b *testing.B) {
 	}
 }
 
+// BenchmarkEnginePacketsPerSecondTopoOff is the macro scenario with an
+// idle 2-hop parking-lot chain constructed on the same engine: links,
+// RED queues, and routing tables exist but carry no traffic. The chain
+// construction sits outside the timed window — the claim under test is
+// that unused multi-bottleneck machinery costs the dumbbell hot path
+// nothing at steady state. The cmd/slowccbench topology gate pairs this
+// against the plain variant from the same run and fails on more than 2%
+// slowdown, any extra allocations over the PR 2 record, or any
+// event-count drift.
+func BenchmarkEnginePacketsPerSecondTopoOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := slowcc.NewEngine(int64(i + 1))
+		b.StopTimer()
+		n := slowcc.NewNet(eng, slowcc.NetConfig{
+			Hops: []slowcc.NetHop{{Rate: 10e6}, {Rate: 10e6}},
+			Seed: 99,
+		})
+		b.StartTimer()
+		d := slowcc.NewDumbbell(eng, slowcc.DumbbellConfig{Rate: 10e6, Seed: int64(i + 1)})
+		f1 := slowcc.TCP(0.5).Make(eng, d, 1)
+		f2 := slowcc.TCP(0.5).Make(eng, d, 2)
+		eng.At(0, f1.Sender.Start)
+		eng.At(0, f2.Sender.Start)
+		eng.RunUntil(30)
+		b.ReportMetric(float64(eng.Steps()), "events")
+		if got := n.Fwd[0].Stats.Arrivals + n.Fwd[1].Stats.Arrivals; got != 0 {
+			b.Fatalf("idle chain carried %d packets", got)
+		}
+	}
+}
+
 // BenchmarkSACKAblation reruns the Figure 5 headline cell with
 // SACK-recovery TCP as the yardstick family, checking the fidelity
 // deviation noted in EXPERIMENTS.md does not change the conclusion.

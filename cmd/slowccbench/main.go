@@ -14,7 +14,9 @@
 // invocation (a paired comparison, so machine drift between commits
 // cannot fake a pass or a fail) and may not allocate a single op more
 // than the PR 2 allocation-free record, with identical event counts
-// throughout.
+// throughout. The fault-injection (EnginePacketsPerSecondFaultsOff) and
+// topology (EnginePacketsPerSecondTopoOff — an idle parking-lot chain
+// on the same engine) variants are held to the same paired gate.
 //
 // Usage:
 //
@@ -94,6 +96,7 @@ type report struct {
 	Trajectory outcome    `json:"trajectory"`
 	Obs        obsOutcome `json:"obs_overhead"`
 	Faults     obsOutcome `json:"faults_overhead"`
+	Topo       obsOutcome `json:"topology_overhead"`
 }
 
 type gates struct {
@@ -132,7 +135,7 @@ var suites = []struct{ pkg, pattern string }{
 	// The Obs variant runs in the same invocation as the plain macro-
 	// benchmark so the overhead comparison is paired: same machine,
 	// same load, interleaved by -count.
-	{".", "EnginePacketsPerSecond$|EnginePacketsPerSecondObsOff|EnginePacketsPerSecondFaultsOff|TCPFlowSimSecond|TFRCFlowSimSecond"},
+	{".", "EnginePacketsPerSecond$|EnginePacketsPerSecondObsOff|EnginePacketsPerSecondFaultsOff|EnginePacketsPerSecondTopoOff|TCPFlowSimSecond|TFRCFlowSimSecond"},
 	{"./internal/sim", "EngineEventTurnover"},
 	{"./internal/netem", "LinkForward"},
 }
@@ -178,6 +181,10 @@ func main() {
 			cur.Benchmarks["EnginePacketsPerSecond"],
 			cur.Benchmarks["EnginePacketsPerSecondFaultsOff"],
 			pr2.Benchmarks["EnginePacketsPerSecond"], g),
+		Topo: obsOverhead("EnginePacketsPerSecondTopoOff",
+			cur.Benchmarks["EnginePacketsPerSecond"],
+			cur.Benchmarks["EnginePacketsPerSecondTopoOff"],
+			pr2.Benchmarks["EnginePacketsPerSecond"], g),
 	}
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
@@ -193,7 +200,7 @@ func main() {
 	t := rep.Trajectory
 	fmt.Printf("%s: speedup %.2fx (gate %.1fx), allocs drop %.2f%% (gate %.0f%%), events identical: %v -> %s\n",
 		t.Benchmark, t.Speedup, g.MinSpeedup, t.AllocsDrop*100, g.MinAllocsDrop*100, t.EventsSame, *out)
-	for _, o := range []obsOutcome{rep.Obs, rep.Faults} {
+	for _, o := range []obsOutcome{rep.Obs, rep.Faults, rep.Topo} {
 		fmt.Printf("%s: slowdown %.3fx vs plain (gate %.2fx), extra allocs %+.0f vs pr2 (gate %+.0f), events identical: %v\n",
 			o.Benchmark, o.Slowdown, g.MaxObsSlowdown, o.ExtraAllocs, g.MaxObsExtraAllocs, o.EventsSame)
 	}
@@ -207,6 +214,10 @@ func main() {
 	}
 	if !rep.Faults.Pass {
 		fmt.Fprintln(os.Stderr, "slowccbench: fault-injection overhead gates NOT met")
+		os.Exit(1)
+	}
+	if !rep.Topo.Pass {
+		fmt.Fprintln(os.Stderr, "slowccbench: topology overhead gates NOT met")
 		os.Exit(1)
 	}
 }

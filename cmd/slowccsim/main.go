@@ -66,6 +66,7 @@ func experiments() []experiment {
 		{"ablation-ecn", "long-term fairness with an ECN-marking bottleneck", runAblationECN},
 		{"ablation-tear", "TEAR in the stabilization and oscillation scenarios", runAblationTEAR},
 		{"outage", "robustness extension: flash crowd onto a recovering bottleneck", runOutage},
+		{"matrix", "N x N cc pairwise interaction matrix across topologies and conditions", runMatrix},
 		{"static-compat", "static TCP-compatibility audit under fixed loss", runStaticCompat},
 		{"rtt-fairness", "extension: unequal-RTT flows sharing the bottleneck", runRTTFairness},
 		{"queue-dynamics", "extension: queue oscillation by traffic type", runQueueDynamics},
@@ -86,6 +87,10 @@ func main() {
 		deadline   = flag.Duration("deadline", 0, "per-sweep-cell wall-clock deadline; a cell over it is degraded, not fatal (0 = none)")
 		faultSpec  = flag.String("fault", "", "fault spec injected at every scenario's bottleneck, e.g. 'down:25+5;corrupt:0.001' (see internal/faults)")
 	)
+	flag.StringVar(&matrixFlags.algos, "matrix", "", "matrix experiment: comma-separated algorithm specs, e.g. 'tcp:0.5,tfrc:8,sqrt' (empty = the paper's seven)")
+	flag.StringVar(&matrixFlags.topology, "topology", "both", "matrix experiment: dumbbell, parking-lot[:hops], or both")
+	flag.StringVar(&matrixFlags.tsvPath, "tsv", "", "matrix experiment: also write the deterministic TSV artifact to this file")
+	flag.BoolVar(&matrixFlags.failDegraded, "fail-degraded", false, "exit nonzero when any sweep cell degrades (CI smoke gate)")
 	flag.Parse()
 
 	if *maxEvents > 0 || *deadline > 0 {
@@ -164,6 +169,12 @@ func main() {
 	if *faultSpec != "" {
 		m.Config["fault"] = *faultSpec
 	}
+	if matrixFlags.algos != "" {
+		m.Config["matrix"] = matrixFlags.algos
+	}
+	if matrixFlags.topology != "both" {
+		m.Config["topology"] = matrixFlags.topology
+	}
 	wallStart := time.Now()
 	for _, e := range exps {
 		if *name != "all" && !strings.EqualFold(*name, e.name) {
@@ -196,12 +207,14 @@ func main() {
 	}
 	// Supervised sweeps degrade poisoned cells instead of aborting; make
 	// the degradation loud and durable rather than silent.
+	degraded := false
 	if errs := exp.SweepErrors(); len(errs) > 0 {
 		fmt.Fprintf(os.Stderr, "%d sweep cell(s) degraded:\n", len(errs))
 		for _, e := range errs {
 			fmt.Fprintf(os.Stderr, "  %v\n", e)
 		}
 		m.Config["degraded_cells"] = strconv.Itoa(len(errs))
+		degraded = true
 	}
 	if *manifest != "" {
 		m.WallTimeS = time.Since(wallStart).Seconds()
@@ -211,6 +224,79 @@ func main() {
 		}
 		fmt.Printf("manifest written to %s\n", *manifest)
 	}
+	if degraded && matrixFlags.failDegraded {
+		// After the manifest is on disk, so the failure is inspectable.
+		fmt.Fprintln(os.Stderr, "-fail-degraded: degraded cells present")
+		os.Exit(1)
+	}
+}
+
+// matrixFlags carries the matrix experiment's extra CLI surface; the
+// flags are registered in main and read by runMatrix.
+var matrixFlags struct {
+	algos        string
+	topology     string
+	tsvPath      string
+	failDegraded bool
+}
+
+// parseTopologyFlag maps -topology onto the matrix topology axis:
+// "dumbbell", "parking-lot", "parking-lot:K", or "both".
+func parseTopologyFlag(s string) (topos []string, hops int, err error) {
+	name, arg, hasArg := strings.Cut(s, ":")
+	if hasArg {
+		hops, err = strconv.Atoi(arg)
+		if err != nil || hops < 1 {
+			return nil, 0, fmt.Errorf("topology %q: hop count must be a positive integer", s)
+		}
+	}
+	switch strings.ToLower(name) {
+	case "dumbbell":
+		if hasArg {
+			return nil, 0, fmt.Errorf("topology %q: the dumbbell has exactly one bottleneck", s)
+		}
+		return []string{exp.TopoDumbbell}, 0, nil
+	case "parking-lot":
+		return []string{exp.TopoParkingLot}, hops, nil
+	case "both", "":
+		return []string{exp.TopoDumbbell, exp.TopoParkingLot}, hops, nil
+	}
+	return nil, 0, fmt.Errorf("unknown topology %q (want dumbbell, parking-lot[:hops], or both)", s)
+}
+
+func runMatrix(full bool, seed int64) (string, any) {
+	cfg := exp.MatrixConfig{Seed: seed}
+	if !full {
+		cfg.Warmup = 3
+		cfg.Measure = 12
+		cfg.Period = 1
+	}
+	if matrixFlags.algos != "" {
+		algos, err := exp.ParseAlgoList(matrixFlags.algos)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-matrix: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Algos = algos
+	}
+	topos, hops, err := parseTopologyFlag(matrixFlags.topology)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-topology: %v\n", err)
+		os.Exit(2)
+	}
+	cfg.Topologies = topos
+	if hops > 0 {
+		cfg.Hops = hops
+	}
+	cells := exp.Matrix(cfg)
+	tsv := exp.RenderMatrixTSV(cells)
+	if matrixFlags.tsvPath != "" {
+		if werr := os.WriteFile(matrixFlags.tsvPath, []byte(tsv), 0o644); werr != nil {
+			fmt.Fprintf(os.Stderr, "-tsv: %v\n", werr)
+			os.Exit(1)
+		}
+	}
+	return exp.RenderMatrix(cfg, cells) + "\n" + tsv, cells
 }
 
 // stabScenario returns the shared Figure 3/4/5 scenario at the chosen

@@ -19,6 +19,7 @@
 //	tfrc:K    equation-based TFRC averaging K loss intervals
 //	tfrc+sc:K TFRC with the paper's conservative self-clocking option
 //	tear:A    TCP Emulation At Receivers with EWMA gain A (0 = default)
+//	cbr:R     unresponsive constant-bit-rate source at R bits/s
 //
 // State probes: -probe I samples every flow's internal state (cwnd and
 // srtt for the windowed algorithms, sending rate for the rate-based
@@ -41,7 +42,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"slowcc"
@@ -58,53 +58,11 @@ func (f *flowList) Set(v string) error {
 	return nil
 }
 
+// parseAlgo delegates to the shared parser (slowcc.ParseAlgo), the same
+// syntax slowccsim's -matrix flag accepts, so the two commands cannot
+// drift apart.
 func parseAlgo(spec string) (slowcc.Algorithm, error) {
-	name, arg, hasArg := strings.Cut(spec, ":")
-	val := 0.0
-	if hasArg {
-		var err error
-		val, err = strconv.ParseFloat(arg, 64)
-		if err != nil {
-			return slowcc.Algorithm{}, fmt.Errorf("flow %q: %v", spec, err)
-		}
-	}
-	switch strings.ToLower(name) {
-	case "tcp":
-		if !hasArg {
-			val = 0.5
-		}
-		return slowcc.TCP(val), nil
-	case "sqrt":
-		if !hasArg {
-			val = 0.5
-		}
-		return slowcc.SQRT(val), nil
-	case "iiad":
-		if !hasArg {
-			val = 0.5
-		}
-		return slowcc.IIAD(val), nil
-	case "rap":
-		if !hasArg {
-			val = 0.5
-		}
-		return slowcc.RAP(val), nil
-	case "tfrc":
-		k := int(val)
-		if k == 0 {
-			k = 8
-		}
-		return slowcc.TFRC(slowcc.TFRCOptions{K: k, HistoryDiscounting: true}), nil
-	case "tfrc+sc":
-		k := int(val)
-		if k == 0 {
-			k = 8
-		}
-		return slowcc.TFRC(slowcc.TFRCOptions{K: k, Conservative: true, HistoryDiscounting: true}), nil
-	case "tear":
-		return slowcc.TEAR(val), nil
-	}
-	return slowcc.Algorithm{}, fmt.Errorf("unknown algorithm %q (want tcp, sqrt, iiad, rap, tfrc, tfrc+sc, tear)", name)
+	return slowcc.ParseAlgo(spec)
 }
 
 func main() {

@@ -5,10 +5,12 @@ import (
 
 	"slowcc/internal/cc"
 	"slowcc/internal/cc/binomial"
+	"slowcc/internal/cc/cbr"
 	"slowcc/internal/cc/rap"
 	"slowcc/internal/cc/tcp"
 	"slowcc/internal/cc/tear"
 	"slowcc/internal/cc/tfrc"
+	"slowcc/internal/netem"
 	"slowcc/internal/sim"
 	"slowcc/internal/topology"
 )
@@ -18,10 +20,10 @@ import (
 func TCPAlgo(b float64) AlgoSpec {
 	return AlgoSpec{
 		Name: fmt.Sprintf("TCP(%s)", fracName(b)),
-		Make: func(eng *sim.Engine, d *topology.Dumbbell, flow int) Flow {
+		Make: func(eng *sim.Engine, d topology.Fabric, flow int) Flow {
 			rcv := cc.NewAckReceiver(eng, flow, nil)
 			snd := tcp.NewSender(eng, nil, tcp.Config{Flow: flow, Policy: tcp.NewAIMD(b)})
-			snd.Pool, rcv.Pool = d.Pool, d.Pool
+			snd.Pool, rcv.Pool = d.SharedPool(), d.SharedPool()
 			snd.Out = d.PathLR(flow, rcv)
 			rcv.Out = d.PathRL(flow, snd)
 			return Flow{
@@ -48,10 +50,10 @@ func IIADAlgo(b float64) AlgoSpec {
 func binomialAlgo(name string, pol binomial.Policy) AlgoSpec {
 	return AlgoSpec{
 		Name: name,
-		Make: func(eng *sim.Engine, d *topology.Dumbbell, flow int) Flow {
+		Make: func(eng *sim.Engine, d topology.Fabric, flow int) Flow {
 			rcv := cc.NewAckReceiver(eng, flow, nil)
 			snd := tcp.NewSender(eng, nil, tcp.Config{Flow: flow, Policy: pol})
-			snd.Pool, rcv.Pool = d.Pool, d.Pool
+			snd.Pool, rcv.Pool = d.SharedPool(), d.SharedPool()
 			snd.Out = d.PathLR(flow, rcv)
 			rcv.Out = d.PathRL(flow, snd)
 			return Flow{
@@ -68,10 +70,10 @@ func binomialAlgo(name string, pol binomial.Policy) AlgoSpec {
 func RAPAlgo(b float64) AlgoSpec {
 	return AlgoSpec{
 		Name: fmt.Sprintf("RAP(%s)", fracName(b)),
-		Make: func(eng *sim.Engine, d *topology.Dumbbell, flow int) Flow {
+		Make: func(eng *sim.Engine, d topology.Fabric, flow int) Flow {
 			rcv := cc.NewAckReceiver(eng, flow, nil)
 			snd := rap.NewSender(eng, nil, rap.Config{Flow: flow, B: b})
-			snd.Pool, rcv.Pool = d.Pool, d.Pool
+			snd.Pool, rcv.Pool = d.SharedPool(), d.SharedPool()
 			snd.Out = d.PathLR(flow, rcv)
 			rcv.Out = d.PathRL(flow, snd)
 			return Flow{
@@ -102,11 +104,11 @@ func TFRCAlgo(o TFRCOpts) AlgoSpec {
 	}
 	return AlgoSpec{
 		Name: name,
-		Make: func(eng *sim.Engine, d *topology.Dumbbell, flow int) Flow {
+		Make: func(eng *sim.Engine, d topology.Fabric, flow int) Flow {
 			rcv := tfrc.NewReceiver(eng, flow, nil, o.K)
 			rcv.HistoryDiscounting = o.HistoryDiscounting
 			snd := tfrc.NewSender(eng, nil, tfrc.Config{Flow: flow, Conservative: o.Conservative})
-			snd.Pool, rcv.Pool = d.Pool, d.Pool
+			snd.Pool, rcv.Pool = d.SharedPool(), d.SharedPool()
 			snd.Out = d.PathLR(flow, rcv)
 			rcv.Out = d.PathRL(flow, snd)
 			return Flow{
@@ -130,13 +132,13 @@ func TEARAlgo(alpha float64) AlgoSpec {
 	}
 	return AlgoSpec{
 		Name: name,
-		Make: func(eng *sim.Engine, d *topology.Dumbbell, flow int) Flow {
+		Make: func(eng *sim.Engine, d topology.Fabric, flow int) Flow {
 			rcv := tear.NewReceiver(eng, flow, nil)
 			if alpha > 0 {
 				rcv.Alpha = alpha
 			}
 			snd := tear.NewSender(eng, nil, flow)
-			snd.Pool, rcv.Pool = d.Pool, d.Pool
+			snd.Pool, rcv.Pool = d.SharedPool(), d.SharedPool()
 			snd.Out = d.PathLR(flow, rcv)
 			rcv.Out = d.PathRL(flow, snd)
 			return Flow{
@@ -155,10 +157,10 @@ func TEARAlgo(alpha float64) AlgoSpec {
 func ECNTCPAlgo(b float64) AlgoSpec {
 	return AlgoSpec{
 		Name: fmt.Sprintf("ECN-TCP(%s)", fracName(b)),
-		Make: func(eng *sim.Engine, d *topology.Dumbbell, flow int) Flow {
+		Make: func(eng *sim.Engine, d topology.Fabric, flow int) Flow {
 			rcv := cc.NewAckReceiver(eng, flow, nil)
 			snd := tcp.NewSender(eng, nil, tcp.Config{Flow: flow, Policy: tcp.NewAIMD(b), ECN: true})
-			snd.Pool, rcv.Pool = d.Pool, d.Pool
+			snd.Pool, rcv.Pool = d.SharedPool(), d.SharedPool()
 			snd.Out = d.PathLR(flow, rcv)
 			rcv.Out = d.PathRL(flow, snd)
 			return Flow{
@@ -169,6 +171,40 @@ func ECNTCPAlgo(b float64) AlgoSpec {
 			}
 		},
 	}
+}
+
+// CBRAlgo returns a constant-bit-rate "algorithm" sending one-way at
+// rate bits per second: the interaction matrix's unresponsive baseline
+// (every congestion-controlled algorithm is also measured against a
+// flow that backs off not at all). Delivered bytes are counted at the
+// far end; nothing feeds back.
+func CBRAlgo(rate float64) AlgoSpec {
+	return AlgoSpec{
+		Name: fmt.Sprintf("CBR(%gM)", rate/1e6),
+		Make: func(eng *sim.Engine, d topology.Fabric, flow int) Flow {
+			sink := &countingSink{pool: d.SharedPool()}
+			ingress := d.PathLR(flow, sink)
+			src := cbr.NewSource(eng, ingress, flow, rate, nil)
+			src.Pool = d.SharedPool()
+			return Flow{
+				Sender:    src,
+				RecvBytes: func() int64 { return sink.bytes },
+				SentBytes: func() int64 { return src.Stats().BytesSent },
+			}
+		},
+	}
+}
+
+// countingSink tallies delivered bytes and releases the packets; the
+// receiving end of a one-way flow.
+type countingSink struct {
+	pool  *netem.PacketPool
+	bytes int64
+}
+
+func (s *countingSink) Handle(p *netem.Packet) {
+	s.bytes += int64(p.Size)
+	s.pool.Put(p)
 }
 
 // fracName prints b as the paper writes it: 1/2, 1/8, ... or a decimal
@@ -189,10 +225,10 @@ func fracName(b float64) string {
 func SACKTCPAlgo(b float64) AlgoSpec {
 	return AlgoSpec{
 		Name: fmt.Sprintf("SACK-TCP(%s)", fracName(b)),
-		Make: func(eng *sim.Engine, d *topology.Dumbbell, flow int) Flow {
+		Make: func(eng *sim.Engine, d topology.Fabric, flow int) Flow {
 			rcv := cc.NewAckReceiver(eng, flow, nil)
 			snd := tcp.NewSender(eng, nil, tcp.Config{Flow: flow, Policy: tcp.NewAIMD(b), SACK: true})
-			snd.Pool, rcv.Pool = d.Pool, d.Pool
+			snd.Pool, rcv.Pool = d.SharedPool(), d.SharedPool()
 			snd.Out = d.PathLR(flow, rcv)
 			rcv.Out = d.PathRL(flow, snd)
 			return Flow{

@@ -159,6 +159,73 @@ func newFaultScenario(c *Cell, seed int64, tc topology.Config, fc *faults.Config
 	return eng, d, inj
 }
 
+// newNetScenario is the parking-lot counterpart of newFaultScenario: it
+// constructs the engine and chain with the same global budget, fault,
+// audit, and flight-recorder wiring the dumbbell scenarios get. The
+// fault configuration (explicit fc, else the global one) attaches to
+// hop faultHop — multi-bottleneck scenarios pick which hop degrades.
+// The flight recorder taps the first hop, the chain's analogue of LR.
+func newNetScenario(c *Cell, seed int64, nc topology.NetConfig, fc *faults.Config, faultHop int) (*sim.Engine, *topology.Net, *faults.Injector) {
+	eng := sim.New(seed)
+	budget, fault, pol := scenarioGlobals()
+	if fc == nil {
+		fc = fault
+	}
+	if budget != nil {
+		eng.SetBudget(budget)
+	}
+	var inj *faults.Injector
+	if fc != nil && fc.Enabled() {
+		cfg := *fc
+		if cfg.Seed == 0 {
+			cfg.Seed = seed
+		}
+		inj = faults.New(eng, cfg)
+		// fill() clones the hop slice, but that happens inside NewNet;
+		// clone here too so the caller's config is not mutated.
+		hops := append([]topology.Hop(nil), nc.Hops...)
+		if len(hops) == 0 {
+			hops = []topology.Hop{{}}
+		}
+		if faultHop < 0 || faultHop >= len(hops) {
+			faultHop = 0
+		}
+		hops[faultHop].Fault = inj
+		nc.Hops = hops
+	}
+	audit.mu.Lock()
+	on := audit.enabled
+	flightDir := audit.flightDir
+	audit.mu.Unlock()
+	var a *invariant.Auditor
+	if on {
+		a = invariant.New(eng)
+		a.Report = recordAuditViolation
+		nc.Audit = a
+		audit.mu.Lock()
+		audit.auditors[eng] = a
+		audit.mu.Unlock()
+	}
+	n := topology.NewNet(eng, nc)
+	if a != nil && flightDir != "" {
+		fr := obs.NewFlightRecorder(flightRingSize)
+		n.Fwd[0].AddTap(fr.LinkTap())
+		a.Flight = fr
+		a.DumpPath = filepath.Join(flightDir,
+			fmt.Sprintf("flight-%d.dump", audit.flightSeq.Add(1)))
+	}
+	if c != nil && pol.FlightDir != "" {
+		ring := pol.FlightRing
+		if ring == 0 {
+			ring = flightRingSize
+		}
+		fr := obs.NewFlightRecorder(ring)
+		n.Fwd[0].AddTap(fr.LinkTap())
+		c.flight = fr
+	}
+	return eng, n, inj
+}
+
 // auditorFor returns the auditor attached to eng by newScenario, or nil.
 func auditorFor(eng *sim.Engine) *invariant.Auditor {
 	audit.mu.Lock()

@@ -46,12 +46,13 @@ func (p probePair) ProbeVars() []probe.Var {
 }
 
 // AlgoSpec is a named congestion control algorithm that knows how to
-// wire one flow onto a dumbbell.
+// wire one flow onto a topology fabric (a dumbbell or a parking-lot
+// chain — algorithms never see which).
 type AlgoSpec struct {
 	// Name identifies the algorithm in tables, e.g. "TCP(1/8)".
 	Name string
 	// Make wires a flow with the given id in the forward direction.
-	Make func(eng *sim.Engine, d *topology.Dumbbell, flow int) Flow
+	Make func(eng *sim.Engine, d topology.Fabric, flow int) Flow
 }
 
 // gammaSteps returns the paper's sweep of the slowness parameter:

@@ -1,0 +1,378 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"slowcc/internal/cc/cbr"
+	"slowcc/internal/faults"
+	"slowcc/internal/metrics"
+	"slowcc/internal/netem"
+	"slowcc/internal/sim"
+	"slowcc/internal/topology"
+)
+
+// Matrix condition and topology names (the two sweep axes beyond the
+// algorithm pair itself).
+const (
+	CondStatic      = "static"      // no competing load beyond the pair
+	CondOscillating = "oscillating" // square-wave CBR shares the bottleneck
+	CondFaulted     = "faulted"     // a deterministic mid-run link outage
+
+	TopoDumbbell   = "dumbbell"
+	TopoParkingLot = "parking-lot"
+)
+
+// crossFlowBase offsets parking-lot cross-traffic flow ids away from the
+// matrix pair (1..2F), reverse traffic (900+), and the scenario CBR
+// (990).
+const crossFlowBase = 800
+
+// MatrixConfig drives the N x N algorithm interaction matrix: every
+// ordered pair of algorithms competes head-to-head under each condition
+// on each topology, and the cell records fairness, smoothness, and
+// utilization. The paper studies pairs against TCP; the matrix closes
+// the loop by also measuring slowly-responsive algorithms against each
+// other, where neither side supplies TCP's sawtooth probing.
+type MatrixConfig struct {
+	// Algos are the competitors; every ordered pair (A, B) including
+	// A == A runs as one cell. Empty uses DefaultMatrixAlgos.
+	Algos []AlgoSpec
+	// Conditions selects among static, oscillating, faulted. Empty runs
+	// all three.
+	Conditions []string
+	// Topologies selects among dumbbell, parking-lot. Empty runs both.
+	Topologies []string
+	// Hops is the parking-lot bottleneck count (default 3; ignored for
+	// the dumbbell).
+	Hops int
+	// Rate is the per-bottleneck bandwidth (default 10 Mbps).
+	Rate float64
+	// FlowsPerSide is the number of flows per algorithm (default 1: a
+	// true pairwise duel).
+	FlowsPerSide int
+	// ReverseFlows is the number of reverse-path TCP flows (default 1),
+	// so ACKs always share a loaded return path.
+	ReverseFlows int
+	// CBRPeak is the oscillating condition's square-wave peak (default
+	// Rate/2) and Period its full period (default 2 s).
+	CBRPeak float64
+	Period  sim.Time
+	// CrossRate is the parking-lot cross-traffic rate per interior node
+	// (default Rate/4): one CBR flow enters each interior node and
+	// leaves at the next, loading exactly one hop.
+	CrossRate float64
+	// OutageDur is the faulted condition's outage length (default 1 s);
+	// the outage opens at Warmup + Measure/3, on the dumbbell's forward
+	// bottleneck or the parking lot's middle hop.
+	OutageDur sim.Time
+	// Warmup and Measure set the timeline (defaults 10 s and 40 s).
+	Warmup, Measure sim.Time
+	// SmoothBin is the rate-meter bin width for the smoothness metric
+	// (default 1 s).
+	SmoothBin sim.Time
+	// Seed seeds every cell (cells differ by wiring, not seed, like the
+	// other sweep drivers).
+	Seed int64
+	// DisablePool turns off packet pooling (determinism cross-check).
+	DisablePool bool
+
+	// cell is the supervised-sweep context (see supervise.go).
+	cell *Cell
+}
+
+// DefaultMatrixAlgos is the paper's cast: TCP, the equation-based and
+// binomial slowly-responsive algorithms, TEAR, and the unresponsive CBR
+// baseline.
+func DefaultMatrixAlgos() []AlgoSpec {
+	return []AlgoSpec{
+		TCPAlgo(0.5),
+		TFRCAlgo(TFRCOpts{K: 8, HistoryDiscounting: true}),
+		RAPAlgo(0.5),
+		SQRTAlgo(0.5),
+		IIADAlgo(0.5),
+		TEARAlgo(0),
+		CBRAlgo(2.5e6),
+	}
+}
+
+func (c *MatrixConfig) fill() {
+	if len(c.Algos) == 0 {
+		c.Algos = DefaultMatrixAlgos()
+	}
+	if len(c.Conditions) == 0 {
+		c.Conditions = []string{CondStatic, CondOscillating, CondFaulted}
+	}
+	if len(c.Topologies) == 0 {
+		c.Topologies = []string{TopoDumbbell, TopoParkingLot}
+	}
+	if c.Hops == 0 {
+		c.Hops = 3
+	}
+	if c.Rate == 0 {
+		c.Rate = 10e6
+	}
+	if c.FlowsPerSide == 0 {
+		c.FlowsPerSide = 1
+	}
+	if c.ReverseFlows == 0 {
+		c.ReverseFlows = 1
+	}
+	if c.CBRPeak == 0 {
+		c.CBRPeak = c.Rate / 2
+	}
+	if c.Period == 0 {
+		c.Period = 2
+	}
+	if c.CrossRate == 0 {
+		c.CrossRate = c.Rate / 4
+	}
+	if c.OutageDur == 0 {
+		c.OutageDur = 1
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 10
+	}
+	if c.Measure == 0 {
+		c.Measure = 40
+	}
+	if c.SmoothBin == 0 {
+		c.SmoothBin = 1
+	}
+}
+
+// MatrixCell is one duel's outcome.
+type MatrixCell struct {
+	Topology  string
+	Condition string
+	A, B      string
+	// AMbps and BMbps are mean per-flow throughputs in Mbit/s.
+	AMbps, BMbps float64
+	// Ratio is AMbps/BMbps (0 when B starved entirely).
+	Ratio float64
+	// Jain is Jain's fairness index over all 2*FlowsPerSide flows.
+	Jain float64
+	// SmoothA and SmoothB are mean per-flow coefficients of variation
+	// of the 1-second receive rate over the measurement window (lower
+	// is smoother).
+	SmoothA, SmoothB float64
+	// Utilization is the first bottleneck's carried load over capacity
+	// during the measurement window (all traffic classes included).
+	Utilization float64
+	// Degraded marks a cell whose every supervised attempt died; its
+	// metrics are zero.
+	Degraded bool
+}
+
+// Matrix runs the full sweep through the supervised parallel runner and
+// returns cells ordered topology-major, then condition, then A, then B.
+// A cell that exhausts its attempts comes back Degraded with a RunError
+// in SweepErrors rather than aborting the sweep.
+func Matrix(cfg MatrixConfig) []MatrixCell {
+	cfg.fill()
+	type job struct {
+		topo, cond string
+		a, b       AlgoSpec
+	}
+	var jobs []job
+	for _, t := range cfg.Topologies {
+		for _, cond := range cfg.Conditions {
+			for _, a := range cfg.Algos {
+				for _, b := range cfg.Algos {
+					jobs = append(jobs, job{t, cond, a, b})
+				}
+			}
+		}
+	}
+	cells := supervisedMap(len(jobs), func(sc *Cell) MatrixCell {
+		j := jobs[sc.Index()]
+		c := cfg
+		c.cell = sc
+		return runMatrixCell(c, j.topo, j.cond, j.a, j.b)
+	})
+	for i := range cells {
+		if cells[i].Topology == "" { // zero value: every attempt died
+			j := jobs[i]
+			cells[i] = MatrixCell{Topology: j.topo, Condition: j.cond,
+				A: j.a.Name, B: j.b.Name, Degraded: true}
+		}
+	}
+	return cells
+}
+
+func runMatrixCell(cfg MatrixConfig, topo, cond string, a, b AlgoSpec) MatrixCell {
+	seed := cfg.cell.Seed(cfg.Seed)
+
+	// The condition axis owns fault wiring: a zero (disabled) config
+	// overrides any globally-installed -fault configuration, so static
+	// and oscillating cells stay fault-free no matter the CLI state.
+	fc := &faults.Config{}
+	if cond == CondFaulted {
+		fc = &faults.Config{Seed: seed, Windows: []faults.Window{
+			{At: cfg.Warmup + cfg.Measure/3, Dur: cfg.OutageDur},
+		}}
+	}
+
+	var (
+		eng        *sim.Engine
+		fab        topology.Fabric
+		bottleneck *netem.Link
+	)
+	if topo == TopoParkingLot {
+		hops := make([]topology.Hop, cfg.Hops)
+		for i := range hops {
+			hops[i] = topology.Hop{Rate: cfg.Rate}
+		}
+		nc := topology.NetConfig{Hops: hops, Seed: seed, DisablePool: cfg.DisablePool}
+		e, n, _ := newNetScenario(cfg.cell, seed, nc, fc, cfg.Hops/2)
+		eng, fab, bottleneck = e, n, n.Fwd[0]
+		// Cross traffic: one CBR flow per interior node, each spanning
+		// exactly one hop, so interior bottlenecks see load the first
+		// hop never carries — the parking lot's defining asymmetry.
+		for m := 1; m < cfg.Hops; m++ {
+			flow := crossFlowBase + m
+			in := n.PathFwd(flow, m, m+1, netem.Sink{Pool: n.Pool}, n.Cfg.AccessDelay)
+			src := cbr.NewSource(eng, in, flow, cfg.CrossRate, nil)
+			src.Pool = n.Pool
+			eng.At(0, src.Start)
+		}
+	} else {
+		e, d, _ := newFaultScenario(cfg.cell, seed,
+			topology.Config{Rate: cfg.Rate, Seed: seed, DisablePool: cfg.DisablePool}, fc)
+		eng, fab, bottleneck = e, d, d.LR
+	}
+
+	F := cfg.FlowsPerSide
+	flows := make([]Flow, 0, 2*F)
+	for i := 0; i < F; i++ {
+		flows = append(flows, a.Make(eng, fab, i+1))
+	}
+	for i := 0; i < F; i++ {
+		flows = append(flows, b.Make(eng, fab, F+i+1))
+	}
+	meters := make([]*metrics.Meter, len(flows))
+	for i, f := range flows {
+		meters[i] = metrics.NewMeter(eng, cfg.SmoothBin, f.RecvBytes)
+	}
+	startAll(eng, flows, 0)
+	withReverseTraffic(eng, fab, cfg.ReverseFlows)
+	if cond == CondOscillating {
+		src := addCBR(eng, fab, cbrFlowID, cfg.CBRPeak, cbr.SquareWave{Period: cfg.Period})
+		eng.At(0, src.Start)
+	}
+
+	eng.RunUntil(cfg.Warmup)
+	base := make([]int64, len(flows))
+	for i, f := range flows {
+		base[i] = f.RecvBytes()
+	}
+	baseLink := bottleneck.Stats.Bytes
+	eng.RunUntil(cfg.Warmup + cfg.Measure)
+
+	perBps := make([]float64, len(flows))
+	for i, f := range flows {
+		perBps[i] = float64(f.RecvBytes()-base[i]) * 8 / float64(cfg.Measure)
+	}
+	skip := int(cfg.Warmup / cfg.SmoothBin)
+	cell := MatrixCell{
+		Topology:    topo,
+		Condition:   cond,
+		A:           a.Name,
+		B:           b.Name,
+		AMbps:       mean(perBps[:F]) / 1e6,
+		BMbps:       mean(perBps[F:]) / 1e6,
+		Jain:        metrics.JainIndex(perBps),
+		SmoothA:     meanCoV(meters[:F], skip),
+		SmoothB:     meanCoV(meters[F:], skip),
+		Utilization: metrics.Utilization(bottleneck.Stats.Bytes-baseLink, cfg.Rate, cfg.Measure),
+	}
+	if cell.BMbps > 0 {
+		cell.Ratio = cell.AMbps / cell.BMbps
+	}
+	return cell
+}
+
+// meanCoV averages the coefficient of variation of each meter's rate
+// series over the measurement window (the first skip bins are warmup).
+func meanCoV(ms []*metrics.Meter, skip int) float64 {
+	var covs []float64
+	for _, m := range ms {
+		rs := m.Rates()
+		if skip < len(rs) {
+			rs = rs[skip:]
+		} else {
+			rs = nil
+		}
+		covs = append(covs, metrics.ComputeSmoothness(rs).CoV)
+	}
+	return mean(covs)
+}
+
+// RenderMatrixTSV formats the cells as a deterministic tab-separated
+// table (one row per cell, stable column order and float formatting), so
+// byte-identical inputs always produce byte-identical artifacts.
+func RenderMatrixTSV(cells []MatrixCell) string {
+	var sb strings.Builder
+	sb.WriteString("topology\tcondition\talgo_a\talgo_b\ta_mbps\tb_mbps\tratio\tjain\tsmooth_a_cov\tsmooth_b_cov\tutilization\tdegraded\n")
+	for _, c := range cells {
+		fmt.Fprintf(&sb, "%s\t%s\t%s\t%s\t%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%t\n",
+			c.Topology, c.Condition, c.A, c.B,
+			c.AMbps, c.BMbps, c.Ratio, c.Jain, c.SmoothA, c.SmoothB, c.Utilization, c.Degraded)
+	}
+	return sb.String()
+}
+
+// RenderMatrix prints the human view: one throughput-ratio grid (row
+// algorithm over column algorithm) per topology x condition, with mean
+// utilization and fairness beneath each grid.
+func RenderMatrix(cfg MatrixConfig, cells []MatrixCell) string {
+	cfg.fill()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Pairwise interaction matrix: row/column mean throughput ratio\n")
+	fmt.Fprintf(&sb, "(%d Mbps bottlenecks, %g s measured after %g s warmup; parking lot: %d hops)\n",
+		int(cfg.Rate/1e6), float64(cfg.Measure), float64(cfg.Warmup), cfg.Hops)
+	type key struct{ topo, cond string }
+	grids := make(map[key][]MatrixCell)
+	for _, c := range cells {
+		k := key{c.Topology, c.Condition}
+		grids[k] = append(grids[k], c)
+	}
+	for _, t := range cfg.Topologies {
+		for _, cond := range cfg.Conditions {
+			g := grids[key{t, cond}]
+			if len(g) == 0 {
+				continue
+			}
+			fmt.Fprintf(&sb, "\n[%s / %s]\n", t, cond)
+			fmt.Fprintf(&sb, "%-12s", "")
+			for _, b := range cfg.Algos {
+				fmt.Fprintf(&sb, " %10s", b.Name)
+			}
+			sb.WriteByte('\n')
+			i := 0
+			var util, jain float64
+			var ok int
+			for _, a := range cfg.Algos {
+				fmt.Fprintf(&sb, "%-12s", a.Name)
+				for range cfg.Algos {
+					c := g[i]
+					i++
+					if c.Degraded {
+						fmt.Fprintf(&sb, " %10s", "degraded")
+						continue
+					}
+					util += c.Utilization
+					jain += c.Jain
+					ok++
+					fmt.Fprintf(&sb, " %10.2f", c.Ratio)
+				}
+				sb.WriteByte('\n')
+			}
+			if ok > 0 {
+				fmt.Fprintf(&sb, "mean utilization %.2f, mean Jain index %.2f over %d cells\n",
+					util/float64(ok), jain/float64(ok), ok)
+			}
+		}
+	}
+	return sb.String()
+}

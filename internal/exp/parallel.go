@@ -18,6 +18,21 @@ func (p *sweepPanic) String() string {
 	return fmt.Sprintf("exp: sweep index %d panicked: %v\n%s", p.index, p.value, p.stack)
 }
 
+// captureStack returns the current goroutine's stack, growing the
+// buffer geometrically until the whole trace fits (the debug.Stack
+// strategy). A fixed buffer truncates deep sweep stacks mid-frame,
+// which is exactly when the tail — the frame that panicked — matters.
+func captureStack() []byte {
+	buf := make([]byte, 8192)
+	for {
+		n := runtime.Stack(buf, false)
+		if n < len(buf) {
+			return buf[:n]
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+}
+
 // parallelMap runs fn over 0..n-1 on up to GOMAXPROCS workers and
 // returns the results in index order. Each simulation owns its engine,
 // so sweep points are independent; this turns the full-paper sweeps
@@ -39,9 +54,7 @@ func parallelMap[T any](n int, fn func(i int) T) []T {
 	run := func(i int) (p *sweepPanic) {
 		defer func() {
 			if v := recover(); v != nil {
-				buf := make([]byte, 8192)
-				buf = buf[:runtime.Stack(buf, false)]
-				p = &sweepPanic{index: i, value: v, stack: buf}
+				p = &sweepPanic{index: i, value: v, stack: captureStack()}
 			}
 		}()
 		out[i] = fn(i)

@@ -147,3 +147,58 @@ func TestFairnessSingleSeedNoCI(t *testing.T) {
 		t.Fatalf("single-seed run must not report CIs: %+v", pts[0])
 	}
 }
+
+// deeplyNestedSweepCellFrameForStackCaptureTest builds a panic under ~a
+// hundred wide stack frames (long symbol, five live args), which the old
+// fixed 8 KiB capture buffer truncated mid-trace.
+func deeplyNestedSweepCellFrameForStackCaptureTest(n, a, b, c, d int) int {
+	if n == 0 {
+		panic("deep sweep bomb")
+	}
+	return deeplyNestedSweepCellFrameForStackCaptureTest(n-1, a+1, b+2, c+3, d+4)
+}
+
+// A deliberately deep panic must come back with its whole stack: both
+// the panicking frame at the top and the caller frames at the bottom,
+// in a trace larger than any fixed-size buffer guess.
+func TestCaptureStackDeepPanicIsComplete(t *testing.T) {
+	var stack string
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("bomb did not go off")
+			}
+			stack = string(captureStack())
+		}()
+		deeplyNestedSweepCellFrameForStackCaptureTest(400, 0, 0, 0, 0)
+	}()
+	if len(stack) <= 8192 {
+		t.Fatalf("deep stack is only %d bytes; expected it to exceed the old fixed 8 KiB buffer", len(stack))
+	}
+	if !strings.Contains(stack, "deeplyNestedSweepCellFrameForStackCaptureTest") {
+		t.Fatal("captured stack lost the panicking frames")
+	}
+	if !strings.Contains(stack, "TestCaptureStackDeepPanicIsComplete") {
+		t.Fatal("captured stack lost the outermost caller frame (tail truncated)")
+	}
+}
+
+// The same guarantee through the supervisor: a cell that panics deep in
+// a sweep must attach the complete stack to its RunError.
+func TestSuperviseDeepPanicStackComplete(t *testing.T) {
+	_, rerr := Supervise(0, func(c *Cell) int {
+		return deeplyNestedSweepCellFrameForStackCaptureTest(400, 0, 0, 0, 0)
+	})
+	if rerr == nil {
+		t.Fatal("supervised bomb did not error")
+	}
+	if len(rerr.Stack) <= 8192 {
+		t.Fatalf("RunError stack is only %d bytes; tail was truncated", len(rerr.Stack))
+	}
+	if !strings.Contains(rerr.Stack, "deeplyNestedSweepCellFrameForStackCaptureTest") {
+		t.Fatal("RunError stack lost the panicking frames")
+	}
+	if !strings.Contains(rerr.Stack, "runAttempt") {
+		t.Fatal("RunError stack lost the supervisor frame (tail truncated)")
+	}
+}

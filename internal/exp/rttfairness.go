@@ -68,22 +68,22 @@ func RTTFairness(cfg RTTFairnessConfig) []RTTFairnessResult {
 
 // wireAt wires one flow with a specific access delay and returns its
 // receive-byte reader plus a start function.
-type wireAt func(eng *sim.Engine, d *topology.Dumbbell, flow int, access sim.Time) (start func(), recvBytes func() int64)
+type wireAt func(eng *sim.Engine, d topology.Fabric, flow int, access sim.Time) (start func(), recvBytes func() int64)
 
-func wireTCPAt(eng *sim.Engine, d *topology.Dumbbell, flow int, access sim.Time) (func(), func() int64) {
+func wireTCPAt(eng *sim.Engine, d topology.Fabric, flow int, access sim.Time) (func(), func() int64) {
 	rcv := cc.NewAckReceiver(eng, flow, nil)
 	snd := tcp.NewSender(eng, nil, tcp.Config{Flow: flow})
-	snd.Pool, rcv.Pool = d.Pool, d.Pool
+	snd.Pool, rcv.Pool = d.SharedPool(), d.SharedPool()
 	snd.Out = d.PathLRDelay(flow, rcv, access)
 	rcv.Out = d.PathRLDelay(flow, snd, access)
 	return snd.Start, func() int64 { return rcv.Stats().BytesRecv }
 }
 
-func wireTFRCAt(eng *sim.Engine, d *topology.Dumbbell, flow int, access sim.Time) (func(), func() int64) {
+func wireTFRCAt(eng *sim.Engine, d topology.Fabric, flow int, access sim.Time) (func(), func() int64) {
 	rcv := tfrc.NewReceiver(eng, flow, nil, 8)
 	rcv.HistoryDiscounting = true
 	snd := tfrc.NewSender(eng, nil, tfrc.Config{Flow: flow})
-	snd.Pool, rcv.Pool = d.Pool, d.Pool
+	snd.Pool, rcv.Pool = d.SharedPool(), d.SharedPool()
 	snd.Out = d.PathLRDelay(flow, rcv, access)
 	rcv.Out = d.PathRLDelay(flow, snd, access)
 	return snd.Start, func() int64 { return rcv.Stats().BytesRecv }

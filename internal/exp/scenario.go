@@ -9,23 +9,23 @@ import (
 	"slowcc/internal/topology"
 )
 
-// addCBR wires a one-way CBR source across the forward bottleneck. The
-// far end is a netem.Sink, which releases delivered packets back to the
-// topology's pool.
-func addCBR(eng *sim.Engine, d *topology.Dumbbell, flow int, peak float64, sched cbr.Schedule) *cbr.Source {
-	ingress := d.PathLR(flow, netem.Sink{Pool: d.Pool})
+// addCBR wires a one-way CBR source across the forward direction of the
+// fabric. The far end is a netem.Sink, which releases delivered packets
+// back to the topology's pool.
+func addCBR(eng *sim.Engine, d topology.Fabric, flow int, peak float64, sched cbr.Schedule) *cbr.Source {
+	ingress := d.PathLR(flow, netem.Sink{Pool: d.SharedPool()})
 	src := cbr.NewSource(eng, ingress, flow, peak, sched)
-	src.Pool = d.Pool
+	src.Pool = d.SharedPool()
 	return src
 }
 
 // addReverseTCP wires a long-lived standard TCP flow in the reverse
 // direction. Every paper scenario carries data traffic both ways so
 // that ACKs share a loaded return path.
-func addReverseTCP(eng *sim.Engine, d *topology.Dumbbell, flow int) *tcp.Sender {
+func addReverseTCP(eng *sim.Engine, d topology.Fabric, flow int) *tcp.Sender {
 	rcv := cc.NewAckReceiver(eng, flow, nil)
 	snd := tcp.NewSender(eng, nil, tcp.Config{Flow: flow})
-	snd.Pool, rcv.Pool = d.Pool, d.Pool
+	snd.Pool, rcv.Pool = d.SharedPool(), d.SharedPool()
 	snd.Out = d.PathRL(flow, rcv) // data right-to-left
 	rcv.Out = d.PathLR(flow, snd) // ACKs left-to-right
 	return snd
@@ -39,7 +39,7 @@ const reverseFlowBase = 900
 const cbrFlowID = 990
 
 // withReverseTraffic starts n reverse-direction TCP flows at t=0.
-func withReverseTraffic(eng *sim.Engine, d *topology.Dumbbell, n int) {
+func withReverseTraffic(eng *sim.Engine, d topology.Fabric, n int) {
 	for i := 0; i < n; i++ {
 		snd := addReverseTCP(eng, d, reverseFlowBase+i)
 		eng.At(0, snd.Start)

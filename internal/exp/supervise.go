@@ -3,7 +3,6 @@ package exp
 import (
 	"fmt"
 	"path/filepath"
-	"runtime"
 	"sync"
 	"time"
 
@@ -228,12 +227,10 @@ func runAttempt[T any](index, attempt int, pol CellPolicy, job func(c *Cell) T) 
 		var o outcome
 		defer func() {
 			if v := recover(); v != nil {
-				buf := make([]byte, 16384)
-				buf = buf[:runtime.Stack(buf, false)]
 				o = outcome{rerr: &RunError{
 					Index:      index,
 					Value:      v,
-					Stack:      string(buf),
+					Stack:      string(captureStack()),
 					FlightDump: dumpCellFlight(c, pol, v),
 				}}
 			}

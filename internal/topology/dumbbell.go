@@ -6,6 +6,7 @@ package topology
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"slowcc/internal/faults"
@@ -75,30 +76,50 @@ type Config struct {
 	// for the determinism cross-check, which asserts pooled and unpooled
 	// runs of the same scenario produce bit-identical metrics.
 	DisablePool bool
+	// Strict makes routing failures loud: a packet arriving at a demux
+	// for a flow with no registered egress panics instead of being
+	// counted and discarded. Audited multi-hop scenarios opt in so
+	// misrouting cannot hide as a sink; scenarios with deliberate
+	// one-way traffic leave it off.
+	Strict bool
+}
+
+// ExplicitZero is the sentinel for Config fields whose zero value means
+// "use the paper default" (Delay, AccessDelay, REDMinFactor): setting
+// such a field to ExplicitZero — or any negative value, or NaN —
+// requests a literal zero, so a zero-delay hop or a RED queue with
+// min-threshold 0 is expressible.
+const ExplicitZero = -1
+
+// zeroable resolves one default-on-zero field: zero takes the default,
+// an explicit-zero sentinel (negative or NaN) takes literal zero, and
+// any positive value passes through.
+func zeroable(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	return v
 }
 
 func (c *Config) fill() {
 	if c.Rate == 0 {
 		c.Rate = 10e6
 	}
-	if c.Delay == 0 {
-		c.Delay = 0.021
-	}
+	c.Delay = zeroable(c.Delay, 0.021)
 	if c.AccessRate == 0 {
 		c.AccessRate = 1e9
 	}
-	if c.AccessDelay == 0 {
-		c.AccessDelay = 0.002
-	}
+	c.AccessDelay = zeroable(c.AccessDelay, 0.002)
 	if c.PktSize == 0 {
 		c.PktSize = 1000
 	}
 	if c.QueueFactor == 0 {
 		c.QueueFactor = 2.5
 	}
-	if c.REDMinFactor == 0 {
-		c.REDMinFactor = 0.25
-	}
+	c.REDMinFactor = zeroable(c.REDMinFactor, 0.25)
 	if c.REDMaxFactor == 0 {
 		c.REDMaxFactor = 1.25
 	}
@@ -133,6 +154,11 @@ type Dumbbell struct {
 	// Config.DisablePool is set, which every pool-aware component treats
 	// as plain heap allocation.
 	Pool *netem.PacketPool
+	// UnknownFlowDrops counts packets that left a bottleneck carrying a
+	// flow id with no registered egress. Deliberate one-way traffic
+	// lands here by design; anything else is misrouting, which strict
+	// mode (Config.Strict) turns into a panic instead.
+	UnknownFlowDrops int64
 
 	lrEntry netem.Handler         // LR, or Filter when configured
 	demuxR  map[int]netem.Handler // flow -> right-side egress (after LR)
@@ -142,8 +168,11 @@ type Dumbbell struct {
 // demux routes packets leaving a bottleneck to the registered per-flow
 // access link.
 type demux struct {
-	table map[int]netem.Handler
-	pool  *netem.PacketPool
+	table  map[int]netem.Handler
+	pool   *netem.PacketPool
+	name   string
+	drops  *int64
+	strict bool
 }
 
 func (d demux) Handle(p *netem.Packet) {
@@ -151,8 +180,15 @@ func (d demux) Handle(p *netem.Packet) {
 		h.Handle(p)
 		return
 	}
-	// Unknown flows are discarded: a sink for one-way traffic. The demux
-	// is the packet's final owner here, so it releases.
+	// No registration. Historically a silent sink for one-way traffic;
+	// the drop is now always counted so misrouting in a larger topology
+	// leaves a trace, and strict mode makes it fatal.
+	*d.drops++
+	if d.strict {
+		panic(fmt.Sprintf("topology: packet for unregistered flow %d (kind %d, seq %d) at %s demux",
+			p.Flow, p.Kind, p.Seq, d.name))
+	}
+	// The demux is the packet's final owner here, so it releases.
 	d.pool.Put(p)
 }
 
@@ -170,22 +206,17 @@ func New(eng *sim.Engine, cfg Config) *Dumbbell {
 	}
 	bdp := cfg.BDPPkts()
 	mk := func(seed int64) netem.Queue {
-		capPkts := int(cfg.QueueFactor*bdp + 0.5)
-		if capPkts < 4 {
-			capPkts = 4
-		}
-		if cfg.DropTail {
-			return netem.NewDropTail(capPkts)
-		}
-		txTime := float64(cfg.PktSize) * 8 / cfg.Rate
-		q := netem.NewRED(cfg.REDMinFactor*bdp, cfg.REDMaxFactor*bdp,
-			capPkts, txTime, rand.New(rand.NewSource(seed)))
-		q.MarkECN = cfg.ECN
-		q.Gentle = cfg.Gentle
-		return q
+		return buildQueue(queueSpec{
+			DropTail: cfg.DropTail, ECN: cfg.ECN, Gentle: cfg.Gentle,
+			QueueFactor: cfg.QueueFactor, REDMinFactor: cfg.REDMinFactor,
+			REDMaxFactor: cfg.REDMaxFactor, BDP: bdp,
+			PktSize: cfg.PktSize, Rate: cfg.Rate, Seed: seed,
+		})
 	}
-	d.LR = netem.NewLink(eng, cfg.Rate, cfg.Delay, mk(cfg.Seed+1), demux{d.demuxR, d.Pool})
-	d.RL = netem.NewLink(eng, cfg.Rate, cfg.Delay, mk(cfg.Seed+2), demux{d.demuxL, d.Pool})
+	d.LR = netem.NewLink(eng, cfg.Rate, cfg.Delay, mk(cfg.Seed+1),
+		demux{d.demuxR, d.Pool, "right", &d.UnknownFlowDrops, cfg.Strict})
+	d.RL = netem.NewLink(eng, cfg.Rate, cfg.Delay, mk(cfg.Seed+2),
+		demux{d.demuxL, d.Pool, "left", &d.UnknownFlowDrops, cfg.Strict})
 	d.LR.Pool = d.Pool
 	d.RL.Pool = d.Pool
 	if cfg.Audit != nil {
@@ -205,6 +236,47 @@ func New(eng *sim.Engine, cfg Config) *Dumbbell {
 	return d
 }
 
+// queueSpec carries everything one bottleneck queue needs; the dumbbell
+// and the parking-lot chain size their per-hop queues through the same
+// construction so a hop with the dumbbell's parameters gets a
+// bit-identical queue.
+type queueSpec struct {
+	DropTail, ECN, Gentle      bool
+	QueueFactor                float64
+	REDMinFactor, REDMaxFactor float64
+	BDP                        float64 // bandwidth-delay product in packets
+	PktSize                    int
+	Rate                       float64
+	Seed                       int64
+}
+
+// buildQueue constructs one bottleneck queue: RED with thresholds and
+// capacity as multiples of the BDP (the paper's sizing), or simple
+// tail-drop.
+func buildQueue(s queueSpec) netem.Queue {
+	capPkts := int(s.QueueFactor*s.BDP + 0.5)
+	if capPkts < 4 {
+		capPkts = 4
+	}
+	if s.DropTail {
+		return netem.NewDropTail(capPkts)
+	}
+	txTime := float64(s.PktSize) * 8 / s.Rate
+	q := netem.NewRED(s.REDMinFactor*s.BDP, s.REDMaxFactor*s.BDP,
+		capPkts, txTime, rand.New(rand.NewSource(s.Seed)))
+	q.MarkECN = s.ECN
+	q.Gentle = s.Gentle
+	return q
+}
+
+// SharedPool implements Fabric: the pool endpoints should allocate and
+// release through (nil under DisablePool).
+func (d *Dumbbell) SharedPool() *netem.PacketPool { return d.Pool }
+
+// PropRTT implements Fabric: the end-to-end propagation round-trip time
+// for a flow using the default access delay.
+func (d *Dumbbell) PropRTT() sim.Time { return d.Cfg.PropRTT() }
+
 // Observe registers the dumbbell's core components with the counter
 // registry: the engine's scheduler counters, both bottleneck links
 // (with RED drop splits when RED is in use), and the packet pool. The
@@ -215,6 +287,7 @@ func (d *Dumbbell) Observe(reg *obs.Registry) {
 	reg.AddLink("lr", d.LR)
 	reg.AddLink("rl", d.RL)
 	reg.AddPool(d.Pool)
+	reg.Register("topo.unknown_flow_drops", func() int64 { return d.UnknownFlowDrops })
 }
 
 // ObserveProbes registers both bottleneck RED queues with the sampler

@@ -6,6 +6,7 @@ import (
 
 	"slowcc/internal/invariant"
 	"slowcc/internal/netem"
+	"slowcc/internal/obs"
 	"slowcc/internal/sim"
 )
 
@@ -72,6 +73,73 @@ func TestUnknownFlowDiscarded(t *testing.T) {
 	// Flow 99 has no registration: must not panic, just vanish.
 	in.Handle(&netem.Packet{Flow: 99, Kind: netem.Data, Size: 100})
 	eng.Run()
+	// ... but not silently: the drop is counted and observable.
+	if d.UnknownFlowDrops != 1 {
+		t.Fatalf("UnknownFlowDrops = %d, want 1", d.UnknownFlowDrops)
+	}
+	reg := &obs.Registry{}
+	d.Observe(reg)
+	if got := reg.Snapshot()["topo.unknown_flow_drops"]; got != 1 {
+		t.Fatalf("observed unknown-flow drops = %d, want 1", got)
+	}
+}
+
+func TestStrictRoutingPanics(t *testing.T) {
+	eng := sim.New(1)
+	d := New(eng, Config{Seed: 1, Strict: true})
+	in := d.PathLR(1, &arrival{eng: eng})
+	in.Handle(&netem.Packet{Flow: 99, Kind: netem.Data, Size: 100})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("strict mode did not panic on an unregistered flow")
+		}
+	}()
+	eng.Run()
+}
+
+// TestExplicitZeroSentinels covers the configs the default-on-zero
+// fill() used to make inexpressible: zero bottleneck delay, zero access
+// delay, and a RED min-threshold of 0.
+func TestExplicitZeroSentinels(t *testing.T) {
+	if got := (Config{Delay: ExplicitZero}).PropRTT(); math.Abs(got-0.008) > 1e-9 {
+		t.Fatalf("PropRTT with a zero-delay bottleneck = %v, want 8ms (access only)", got)
+	}
+	if got := (Config{AccessDelay: ExplicitZero}).PropRTT(); math.Abs(got-0.042) > 1e-9 {
+		t.Fatalf("PropRTT with zero access delay = %v, want 42ms (bottleneck only)", got)
+	}
+	eng := sim.New(1)
+	d := New(eng, Config{REDMinFactor: ExplicitZero, Seed: 1})
+	q := d.LR.Q.(*netem.RED)
+	if q.MinThresh != 0 {
+		t.Fatalf("REDMinFactor sentinel produced MinThresh %v, want 0", q.MinThresh)
+	}
+	if q.MaxThresh == 0 {
+		t.Fatal("sentinel leaked into MaxThresh")
+	}
+	// NaN works as a sentinel too.
+	d2 := New(eng, Config{Delay: math.NaN(), Seed: 2})
+	if d2.Cfg.Delay != 0 {
+		t.Fatalf("NaN delay sentinel resolved to %v, want 0", d2.Cfg.Delay)
+	}
+	// And a packet actually crosses a zero-delay bottleneck quickly.
+	dst := &arrival{eng: eng}
+	in := d2.PathLR(1, dst)
+	in.Handle(&netem.Packet{Flow: 1, Kind: netem.Data, Size: 1000})
+	eng.Run()
+	if len(dst.pkts) != 1 || dst.at[0] > 0.006 {
+		t.Fatalf("zero-delay bottleneck delivered %d packets at %v, want 1 at ~4ms", len(dst.pkts), dst.at)
+	}
+}
+
+// TestDefaultConfigUnchangedBySentinels pins that ordinary configs are
+// byte-identical to the pre-sentinel behavior: zero still means the
+// paper default.
+func TestDefaultConfigUnchangedBySentinels(t *testing.T) {
+	c := Config{}
+	c.fill()
+	if c.Delay != 0.021 || c.AccessDelay != 0.002 || c.REDMinFactor != 0.25 {
+		t.Fatalf("zero-value defaults changed: Delay=%v AccessDelay=%v REDMinFactor=%v", c.Delay, c.AccessDelay, c.REDMinFactor)
+	}
 }
 
 func TestDuplicateRegistrationPanics(t *testing.T) {

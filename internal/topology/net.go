@@ -1,0 +1,378 @@
+package topology
+
+import (
+	"fmt"
+
+	"slowcc/internal/faults"
+	"slowcc/internal/invariant"
+	"slowcc/internal/netem"
+	"slowcc/internal/obs"
+	"slowcc/internal/sim"
+)
+
+// Fabric is the wiring surface endpoints see: everything an algorithm
+// needs to put a flow onto a topology without knowing whether one
+// bottleneck or a chain of them sits in the middle. Dumbbell and Net
+// both implement it, so every AlgoSpec and scenario helper runs
+// unchanged on either.
+type Fabric interface {
+	// PathLR wires a full forward path for flow and returns its ingress.
+	PathLR(flow int, dst netem.Handler) netem.Handler
+	// PathRL wires a full reverse path for flow (ACKs of forward flows,
+	// data of reverse flows).
+	PathRL(flow int, dst netem.Handler) netem.Handler
+	// PathLRDelay is PathLR with a per-flow access-link delay, for
+	// heterogeneous RTTs on a shared chain.
+	PathLRDelay(flow int, dst netem.Handler, accessDelay sim.Time) netem.Handler
+	// PathRLDelay is PathRL with a per-flow access-link delay.
+	PathRLDelay(flow int, dst netem.Handler, accessDelay sim.Time) netem.Handler
+	// ForwardSink registers dst as the forward-direction consumer for
+	// flow without an egress access link (one-way CBR traffic).
+	ForwardSink(flow int, dst netem.Handler)
+	// SharedPool is the topology-wide packet pool (nil when pooling is
+	// disabled); endpoints allocate and release through it.
+	SharedPool() *netem.PacketPool
+	// PropRTT is the end-to-end propagation round-trip time for a flow
+	// using the default access delay.
+	PropRTT() sim.Time
+}
+
+var (
+	_ Fabric = (*Dumbbell)(nil)
+	_ Fabric = (*Net)(nil)
+)
+
+// Hop configures one bottleneck link pair (forward and reverse) of a
+// parking-lot chain. Zero fields take the dumbbell's paper defaults, so
+// a one-hop Net with a zero Hop is the default dumbbell's bottleneck;
+// Delay and REDMinFactor accept the ExplicitZero sentinel.
+type Hop struct {
+	// Rate is the hop bandwidth in bits per second (default 10 Mbps).
+	Rate float64
+	// Delay is the hop's one-way propagation delay (default 21 ms).
+	Delay sim.Time
+	// QueueFactor sizes the hop buffer as a multiple of the hop BDP
+	// (default 2.5).
+	QueueFactor float64
+	// REDMinFactor and REDMaxFactor set the RED thresholds as multiples
+	// of the hop BDP (defaults 0.25 and 1.25).
+	REDMinFactor, REDMaxFactor float64
+	// DropTail selects tail-drop instead of RED on both directions of
+	// this hop.
+	DropTail bool
+	// ECN makes the hop's RED queues mark ECN-capable packets.
+	ECN bool
+	// Gentle enables RED's gentle ramp.
+	Gentle bool
+	// ForwardLoss, if non-nil, installs a scripted drop pattern in front
+	// of this hop's forward link (data dropped per the pattern, control
+	// passes).
+	ForwardLoss netem.DropPattern
+	// Fault, when non-nil, is attached to this hop's forward link: the
+	// injector drives the link's down/up state and wraps the point where
+	// packets are offered to it, after the hop's ForwardLoss filter. One
+	// injector per link; different hops need different injectors.
+	Fault *faults.Injector
+}
+
+func (h *Hop) fill() {
+	if h.Rate == 0 {
+		h.Rate = 10e6
+	}
+	h.Delay = zeroable(h.Delay, 0.021)
+	if h.QueueFactor == 0 {
+		h.QueueFactor = 2.5
+	}
+	h.REDMinFactor = zeroable(h.REDMinFactor, 0.25)
+	if h.REDMaxFactor == 0 {
+		h.REDMaxFactor = 1.25
+	}
+}
+
+// NetConfig describes a parking-lot (chain) topology: nodes 0..K joined
+// by K bottleneck hops, each a forward and a reverse link with its own
+// queue discipline, plus per-flow access links at every node. A
+// one-hop NetConfig reproduces the dumbbell's structure (same queue
+// sizing, same per-direction RED seeds).
+type NetConfig struct {
+	// Hops are the bottlenecks in chain order; empty means one default
+	// hop.
+	Hops []Hop
+	// AccessRate is the per-flow access link bandwidth (default 1 Gbps).
+	AccessRate float64
+	// AccessDelay is the default one-way access link delay (default
+	// 2 ms; ExplicitZero for a literal zero). Per-flow overrides go
+	// through PathFwd/PathRev or the *Delay Fabric methods.
+	AccessDelay sim.Time
+	// PktSize is the reference packet size in bytes (default 1000).
+	PktSize int
+	// Seed seeds the per-hop RED generators: hop i draws from Seed+1+2i
+	// forward and Seed+2+2i reverse, matching the dumbbell's Seed+1 and
+	// Seed+2 at K=1.
+	Seed int64
+	// Strict makes a packet arriving at any node for an unregistered
+	// flow panic instead of being counted and discarded.
+	Strict bool
+	// Audit, when non-nil, registers every link of the chain — both
+	// directions of every hop and all access links — with the auditor.
+	Audit *invariant.Auditor
+	// DisablePool leaves Net.Pool nil (heap allocation; the determinism
+	// cross-check's pre-pooling behavior).
+	DisablePool bool
+}
+
+func (c *NetConfig) fill() {
+	// Clone before resolving: filling in place would rewrite sentinel
+	// values (ExplicitZero -> 0) through the shared backing array, and a
+	// second fill of the same slice would then read that 0 as "default".
+	hops := make([]Hop, len(c.Hops))
+	copy(hops, c.Hops)
+	c.Hops = hops
+	if len(c.Hops) == 0 {
+		c.Hops = []Hop{{}}
+	}
+	for i := range c.Hops {
+		c.Hops[i].fill()
+	}
+	if c.AccessRate == 0 {
+		c.AccessRate = 1e9
+	}
+	c.AccessDelay = zeroable(c.AccessDelay, 0.002)
+	if c.PktSize == 0 {
+		c.PktSize = 1000
+	}
+}
+
+// PropRTT returns the propagation round-trip time of the full chain for
+// a flow using the default access delay: 2*(2*AccessDelay + sum of hop
+// delays).
+func (c NetConfig) PropRTT() sim.Time {
+	cc := c
+	cc.fill()
+	var hops sim.Time
+	for _, h := range cc.Hops {
+		hops += h.Delay
+	}
+	return 2 * (2*cc.AccessDelay + hops)
+}
+
+// HopBDPPkts returns hop i's bandwidth-delay product in packets, using
+// the full-chain propagation RTT (the RTT a chain-traversing flow
+// sees, which is what the paper's queue sizing is relative to).
+func (c NetConfig) HopBDPPkts(i int) float64 {
+	cc := c
+	cc.fill()
+	return cc.Hops[i].Rate * cc.PropRTT() / 8 / float64(cc.PktSize)
+}
+
+// Net is an instantiated parking-lot chain. Fwd[i] carries traffic from
+// node i to node i+1; Rev[i] carries traffic from node i+1 to node i.
+type Net struct {
+	Eng *sim.Engine
+	Cfg NetConfig
+	// Fwd and Rev are the bottleneck links per hop.
+	Fwd, Rev []*netem.Link
+	// Filters holds each hop's scripted forward loss stage (nil entries
+	// for hops without Hop.ForwardLoss).
+	Filters []*netem.LossFilter
+	// Pool recycles packets across the whole chain (nil under
+	// DisablePool).
+	Pool *netem.PacketPool
+	// UnknownFlowDrops counts packets that reached any node carrying a
+	// flow id with no route registered there.
+	UnknownFlowDrops int64
+
+	fwdEntry []netem.Handler // where to offer packets into Fwd[i] (filter/fault wrapped)
+	fwdRt    []demux         // router at node i+1, fed by Fwd[i]
+	revRt    []demux         // router at node i, fed by Rev[i]
+	fwdFlows map[int]bool    // per-direction flow id registries
+	revFlows map[int]bool
+}
+
+// NewNet builds a parking-lot chain on eng.
+func NewNet(eng *sim.Engine, cfg NetConfig) *Net {
+	cfg.fill()
+	k := len(cfg.Hops)
+	n := &Net{
+		Eng:      eng,
+		Cfg:      cfg,
+		Fwd:      make([]*netem.Link, k),
+		Rev:      make([]*netem.Link, k),
+		Filters:  make([]*netem.LossFilter, k),
+		fwdEntry: make([]netem.Handler, k),
+		fwdRt:    make([]demux, k),
+		revRt:    make([]demux, k),
+		fwdFlows: make(map[int]bool),
+		revFlows: make(map[int]bool),
+	}
+	if !cfg.DisablePool {
+		n.Pool = &netem.PacketPool{}
+	}
+	for i, h := range cfg.Hops {
+		bdp := cfg.HopBDPPkts(i)
+		n.fwdRt[i] = demux{make(map[int]netem.Handler), n.Pool,
+			fmt.Sprintf("node-%d", i+1), &n.UnknownFlowDrops, cfg.Strict}
+		n.revRt[i] = demux{make(map[int]netem.Handler), n.Pool,
+			fmt.Sprintf("node-%d", i), &n.UnknownFlowDrops, cfg.Strict}
+		spec := queueSpec{
+			DropTail: h.DropTail, ECN: h.ECN, Gentle: h.Gentle,
+			QueueFactor: h.QueueFactor, REDMinFactor: h.REDMinFactor,
+			REDMaxFactor: h.REDMaxFactor, BDP: bdp,
+			PktSize: cfg.PktSize, Rate: h.Rate,
+		}
+		spec.Seed = cfg.Seed + 1 + 2*int64(i)
+		n.Fwd[i] = netem.NewLink(eng, h.Rate, h.Delay, buildQueue(spec), n.fwdRt[i])
+		spec.Seed = cfg.Seed + 2 + 2*int64(i)
+		n.Rev[i] = netem.NewLink(eng, h.Rate, h.Delay, buildQueue(spec), n.revRt[i])
+		n.Fwd[i].Pool = n.Pool
+		n.Rev[i].Pool = n.Pool
+		if cfg.Audit != nil {
+			cfg.Audit.WatchLink(fmt.Sprintf("fwd-%d", i), n.Fwd[i])
+			cfg.Audit.WatchLink(fmt.Sprintf("rev-%d", i), n.Rev[i])
+		}
+		entry := netem.Handler(n.Fwd[i])
+		if h.Fault != nil {
+			// The injector wraps the point where packets are offered to the
+			// hop, so the loss filter (below) feeds faults, as on the
+			// dumbbell.
+			entry = h.Fault.Attach(n.Fwd[i], entry, n.Pool)
+		}
+		if h.ForwardLoss != nil {
+			n.Filters[i] = &netem.LossFilter{Pattern: h.ForwardLoss, Next: entry, Now: eng.Now, Pool: n.Pool}
+			entry = n.Filters[i]
+		}
+		n.fwdEntry[i] = entry
+	}
+	return n
+}
+
+// NumHops returns the number of bottleneck hops (K); nodes are 0..K.
+func (n *Net) NumHops() int { return len(n.Fwd) }
+
+// SharedPool implements Fabric.
+func (n *Net) SharedPool() *netem.PacketPool { return n.Pool }
+
+// PropRTT implements Fabric: the full-chain propagation RTT.
+func (n *Net) PropRTT() sim.Time { return n.Cfg.PropRTT() }
+
+// PathFwd wires a forward path for flow entering the chain at node
+// enter and leaving at node exit (0 <= enter < exit <= NumHops()):
+// ingress access link, hops enter..exit-1, egress access link, dst.
+// Cross traffic uses interior spans; PathLR is the full-chain case.
+// Flow ids are unique per direction; duplicates panic.
+func (n *Net) PathFwd(flow, enter, exit int, dst netem.Handler, accessDelay sim.Time) netem.Handler {
+	if enter < 0 || exit <= enter || exit > n.NumHops() {
+		panic(fmt.Sprintf("topology: forward span %d..%d outside chain 0..%d", enter, exit, n.NumHops()))
+	}
+	if n.fwdFlows[flow] {
+		panic(fmt.Sprintf("topology: flow %d already registered on the forward direction", flow))
+	}
+	n.fwdFlows[flow] = true
+	out := netem.NewLink(n.Eng, n.Cfg.AccessRate, accessDelay,
+		netem.NewDropTail(1<<20), dst)
+	out.Pool = n.Pool
+	// The router after the last hop of the span delivers to the egress
+	// access link; routers at interior nodes forward into the next hop.
+	n.fwdRt[exit-1].table[flow] = out
+	for node := enter + 1; node < exit; node++ {
+		n.fwdRt[node-1].table[flow] = n.fwdEntry[node]
+	}
+	in := netem.NewLink(n.Eng, n.Cfg.AccessRate, accessDelay,
+		netem.NewDropTail(1<<20), n.fwdEntry[enter])
+	in.Pool = n.Pool
+	if n.Cfg.Audit != nil {
+		n.Cfg.Audit.WatchLink(fmt.Sprintf("access-%d-fwd-in", flow), in)
+		n.Cfg.Audit.WatchLink(fmt.Sprintf("access-%d-fwd-out", flow), out)
+	}
+	return in
+}
+
+// PathRev wires a reverse path for flow entering at node enter and
+// leaving at node exit (NumHops() >= enter > exit >= 0), traversing
+// hops enter-1..exit in the reverse direction.
+func (n *Net) PathRev(flow, enter, exit int, dst netem.Handler, accessDelay sim.Time) netem.Handler {
+	if exit < 0 || enter <= exit || enter > n.NumHops() {
+		panic(fmt.Sprintf("topology: reverse span %d..%d outside chain 0..%d", enter, exit, n.NumHops()))
+	}
+	if n.revFlows[flow] {
+		panic(fmt.Sprintf("topology: flow %d already registered on the reverse direction", flow))
+	}
+	n.revFlows[flow] = true
+	out := netem.NewLink(n.Eng, n.Cfg.AccessRate, accessDelay,
+		netem.NewDropTail(1<<20), dst)
+	out.Pool = n.Pool
+	n.revRt[exit].table[flow] = out
+	for node := exit + 1; node < enter; node++ {
+		n.revRt[node].table[flow] = n.Rev[node-1]
+	}
+	in := netem.NewLink(n.Eng, n.Cfg.AccessRate, accessDelay,
+		netem.NewDropTail(1<<20), n.Rev[enter-1])
+	in.Pool = n.Pool
+	if n.Cfg.Audit != nil {
+		n.Cfg.Audit.WatchLink(fmt.Sprintf("access-%d-rev-in", flow), in)
+		n.Cfg.Audit.WatchLink(fmt.Sprintf("access-%d-rev-out", flow), out)
+	}
+	return in
+}
+
+// PathLR implements Fabric: the full chain, node 0 to node K.
+func (n *Net) PathLR(flow int, dst netem.Handler) netem.Handler {
+	return n.PathFwd(flow, 0, n.NumHops(), dst, n.Cfg.AccessDelay)
+}
+
+// PathRL implements Fabric: the full chain, node K to node 0.
+func (n *Net) PathRL(flow int, dst netem.Handler) netem.Handler {
+	return n.PathRev(flow, n.NumHops(), 0, dst, n.Cfg.AccessDelay)
+}
+
+// PathLRDelay implements Fabric.
+func (n *Net) PathLRDelay(flow int, dst netem.Handler, accessDelay sim.Time) netem.Handler {
+	return n.PathFwd(flow, 0, n.NumHops(), dst, accessDelay)
+}
+
+// PathRLDelay implements Fabric.
+func (n *Net) PathRLDelay(flow int, dst netem.Handler, accessDelay sim.Time) netem.Handler {
+	return n.PathRev(flow, n.NumHops(), 0, dst, accessDelay)
+}
+
+// ForwardSink implements Fabric: dst consumes flow at node K with no
+// egress access link; interior nodes route the flow down the chain.
+func (n *Net) ForwardSink(flow int, dst netem.Handler) {
+	if n.fwdFlows[flow] {
+		panic(fmt.Sprintf("topology: flow %d already registered on the forward direction", flow))
+	}
+	n.fwdFlows[flow] = true
+	k := n.NumHops()
+	n.fwdRt[k-1].table[flow] = dst
+	for node := 1; node < k; node++ {
+		n.fwdRt[node-1].table[flow] = n.fwdEntry[node]
+	}
+}
+
+// Observe registers the chain's core components with the counter
+// registry: the engine, both directions of every hop (with RED drop
+// splits where RED is in use), the pool, and the unknown-flow drop
+// counter. Access links are omitted for the same reason as on the
+// dumbbell: sized not to drop, their counters restate the hops'.
+func (n *Net) Observe(reg *obs.Registry) {
+	reg.AddEngine(n.Eng)
+	for i := range n.Fwd {
+		reg.AddLink(fmt.Sprintf("fwd%d", i), n.Fwd[i])
+		reg.AddLink(fmt.Sprintf("rev%d", i), n.Rev[i])
+	}
+	reg.AddPool(n.Pool)
+	reg.Register("topo.unknown_flow_drops", func() int64 { return n.UnknownFlowDrops })
+}
+
+// ObserveProbes registers every hop's RED queues with the sampler
+// (no-op for DropTail hops).
+func (n *Net) ObserveProbes(s *obs.Sampler) {
+	for i := range n.Fwd {
+		if r, ok := n.Fwd[i].Q.(*netem.RED); ok {
+			s.Add(fmt.Sprintf("red.fwd%d", i), r)
+		}
+		if r, ok := n.Rev[i].Q.(*netem.RED); ok {
+			s.Add(fmt.Sprintf("red.rev%d", i), r)
+		}
+	}
+}

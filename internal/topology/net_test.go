@@ -1,0 +1,276 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"slowcc/internal/faults"
+	"slowcc/internal/invariant"
+	"slowcc/internal/netem"
+	"slowcc/internal/obs"
+	"slowcc/internal/sim"
+)
+
+func TestNetOneHopMatchesDumbbell(t *testing.T) {
+	// A one-hop chain with default parameters is the dumbbell: same
+	// structure (access, bottleneck, access), same queue sizing, same
+	// per-direction RED seeds, so the same offered traffic is delivered
+	// at identical times.
+	run := func(build func(eng *sim.Engine) (netem.Handler, *arrival)) []sim.Time {
+		eng := sim.New(1)
+		in, dst := build(eng)
+		for i := int64(0); i < 200; i++ {
+			i := i
+			eng.At(float64(i)*0.0005, func() {
+				in.Handle(&netem.Packet{Flow: 1, Kind: netem.Data, Seq: i, Size: 1000})
+			})
+		}
+		eng.Run()
+		return dst.at
+	}
+	viaDumbbell := run(func(eng *sim.Engine) (netem.Handler, *arrival) {
+		d := New(eng, Config{Rate: 10e6, Seed: 7, DisablePool: true})
+		dst := &arrival{eng: eng}
+		return d.PathLR(1, dst), dst
+	})
+	viaNet := run(func(eng *sim.Engine) (netem.Handler, *arrival) {
+		n := NewNet(eng, NetConfig{Hops: []Hop{{Rate: 10e6}}, Seed: 7, DisablePool: true})
+		dst := &arrival{eng: eng}
+		return n.PathLR(1, dst), dst
+	})
+	if len(viaDumbbell) != len(viaNet) {
+		t.Fatalf("delivery counts differ: dumbbell %d, one-hop net %d", len(viaDumbbell), len(viaNet))
+	}
+	for i := range viaDumbbell {
+		if viaDumbbell[i] != viaNet[i] {
+			t.Fatalf("delivery %d at %v via dumbbell but %v via one-hop net", i, viaDumbbell[i], viaNet[i])
+		}
+	}
+}
+
+func TestNetChainDelivery(t *testing.T) {
+	eng := sim.New(1)
+	n := NewNet(eng, NetConfig{Hops: []Hop{{}, {}, {}}, Seed: 1})
+	dst := &arrival{eng: eng}
+	in := n.PathLR(1, dst)
+	in.Handle(&netem.Packet{Flow: 1, Kind: netem.Data, Size: 1000})
+	eng.Run()
+	if len(dst.pkts) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(dst.pkts))
+	}
+	// One-way: 2ms access + 3*21ms hops + 2ms access plus serialization.
+	if dst.at[0] < 0.067 || dst.at[0] > 0.070 {
+		t.Fatalf("one-way delivery at %v, want ~67ms + serialization", dst.at[0])
+	}
+	for i, l := range n.Fwd {
+		if l.Stats.Departures != 1 {
+			t.Fatalf("hop %d forwarded %d packets, want 1", i, l.Stats.Departures)
+		}
+	}
+}
+
+func TestNetReverseChainDelivery(t *testing.T) {
+	eng := sim.New(1)
+	n := NewNet(eng, NetConfig{Hops: []Hop{{}, {}}, Seed: 1})
+	dst := &arrival{eng: eng}
+	in := n.PathRL(1, dst)
+	in.Handle(&netem.Packet{Flow: 1, Kind: netem.Ack, Size: 40})
+	eng.Run()
+	if len(dst.pkts) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(dst.pkts))
+	}
+	for i, l := range n.Rev {
+		if l.Stats.Departures != 1 {
+			t.Fatalf("reverse hop %d forwarded %d packets, want 1", i, l.Stats.Departures)
+		}
+	}
+}
+
+func TestNetCrossTrafficSpansOnlyItsHops(t *testing.T) {
+	eng := sim.New(1)
+	n := NewNet(eng, NetConfig{Hops: []Hop{{}, {}, {}}, Seed: 1})
+	dst := &arrival{eng: eng}
+	// Parking-lot cross flow: enters at node 1, exits at node 2 — one
+	// interior hop, never touching hops 0 or 2.
+	in := n.PathFwd(5, 1, 2, dst, 0.002)
+	in.Handle(&netem.Packet{Flow: 5, Kind: netem.Data, Size: 1000})
+	eng.Run()
+	if len(dst.pkts) != 1 {
+		t.Fatalf("cross flow delivered %d packets, want 1", len(dst.pkts))
+	}
+	if n.Fwd[0].Stats.Arrivals != 0 || n.Fwd[2].Stats.Arrivals != 0 {
+		t.Fatalf("cross flow leaked onto hops outside its span: hop0=%d hop2=%d arrivals",
+			n.Fwd[0].Stats.Arrivals, n.Fwd[2].Stats.Arrivals)
+	}
+	if n.Fwd[1].Stats.Departures != 1 {
+		t.Fatalf("cross flow's own hop forwarded %d, want 1", n.Fwd[1].Stats.Departures)
+	}
+}
+
+// TestNetPerHopConservationAudit drives a 3-hop parking-lot chain with
+// full-chain traffic, interior cross traffic, and reverse-path traffic,
+// every link registered with the invariant auditor — the per-hop packet
+// conservation law must hold at every accounting transition.
+func TestNetPerHopConservationAudit(t *testing.T) {
+	eng := sim.New(1)
+	a := invariant.New(eng)
+	n := NewNet(eng, NetConfig{
+		Hops:  []Hop{{Rate: 1e6}, {Rate: 1e6}, {Rate: 1e6}},
+		Seed:  3,
+		Audit: a,
+	})
+	for i, l := range n.Fwd {
+		if l.Audit == nil || n.Rev[i].Audit == nil {
+			t.Fatalf("hop %d links not registered with the auditor", i)
+		}
+	}
+	fwdSink := &arrival{eng: eng}
+	in := n.PathLR(1, fwdSink)
+	rin := n.PathRL(1, &arrival{eng: eng})
+	crossIn := n.PathFwd(2, 1, 2, &arrival{eng: eng}, 0.002)
+	revCrossIn := n.PathRev(2, 3, 1, &arrival{eng: eng}, 0.002)
+	if l, ok := crossIn.(*netem.Link); !ok || l.Audit == nil {
+		t.Fatal("cross-traffic access link not registered with the auditor")
+	}
+	for i := int64(0); i < 200; i++ {
+		i := i
+		eng.At(float64(i)*0.002, func() {
+			in.Handle(&netem.Packet{Flow: 1, Kind: netem.Data, Seq: i, Size: 1000})
+			rin.Handle(&netem.Packet{Flow: 1, Kind: netem.Ack, Size: 40})
+			crossIn.Handle(&netem.Packet{Flow: 2, Kind: netem.Data, Seq: i, Size: 1000})
+			revCrossIn.Handle(&netem.Packet{Flow: 2, Kind: netem.Data, Seq: i, Size: 1000})
+		})
+	}
+	eng.Run()
+	if err := a.Err(); err != nil {
+		t.Fatalf("healthy parking-lot chain breached invariants: %v", err)
+	}
+	if len(fwdSink.pkts) == 0 {
+		t.Fatal("no packets delivered end to end")
+	}
+	// The 2x overload on hop 1 (chain + cross traffic into 1 Mbps) must
+	// actually have exercised queueing/drops for the audit to mean much.
+	if n.Fwd[1].Stats.Drops == 0 {
+		t.Fatal("overloaded interior hop never dropped; scenario too gentle to audit")
+	}
+}
+
+func TestNetUnknownFlowCountedAndObserved(t *testing.T) {
+	eng := sim.New(1)
+	n := NewNet(eng, NetConfig{Hops: []Hop{{}, {}}, Seed: 1})
+	in := n.PathLR(1, &arrival{eng: eng})
+	// Flow 99 is routable nowhere: it dies at node 1's router, counted.
+	in.Handle(&netem.Packet{Flow: 99, Kind: netem.Data, Size: 100})
+	eng.Run()
+	if n.UnknownFlowDrops != 1 {
+		t.Fatalf("UnknownFlowDrops = %d, want 1", n.UnknownFlowDrops)
+	}
+	reg := &obs.Registry{}
+	n.Observe(reg)
+	if got := reg.Snapshot()["topo.unknown_flow_drops"]; got != 1 {
+		t.Fatalf("observed unknown-flow drops = %d, want 1", got)
+	}
+}
+
+func TestNetStrictRoutingPanics(t *testing.T) {
+	eng := sim.New(1)
+	n := NewNet(eng, NetConfig{Hops: []Hop{{}}, Seed: 1, Strict: true})
+	in := n.PathLR(1, &arrival{eng: eng})
+	in.Handle(&netem.Packet{Flow: 99, Kind: netem.Data, Size: 100})
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("strict mode did not panic on an unregistered flow")
+		}
+		if msg, ok := v.(string); !ok || !strings.Contains(msg, "flow 99") {
+			t.Fatalf("strict panic does not identify the flow: %v", v)
+		}
+	}()
+	eng.Run()
+}
+
+func TestNetHeterogeneousAccessDelays(t *testing.T) {
+	eng := sim.New(1)
+	n := NewNet(eng, NetConfig{Hops: []Hop{{Rate: 100e6}}, Seed: 2})
+	fast := &arrival{eng: eng}
+	slow := &arrival{eng: eng}
+	inFast := n.PathLRDelay(1, fast, 0.002)
+	inSlow := n.PathLRDelay(2, slow, 0.027)
+	inFast.Handle(&netem.Packet{Flow: 1, Kind: netem.Data, Size: 1000})
+	inSlow.Handle(&netem.Packet{Flow: 2, Kind: netem.Data, Size: 1000})
+	eng.Run()
+	if fast.at[0] > 0.027 {
+		t.Fatalf("fast path delivery at %v, want ~25ms", fast.at[0])
+	}
+	if slow.at[0] < 0.074 || slow.at[0] > 0.078 {
+		t.Fatalf("slow path delivery at %v, want ~75ms", slow.at[0])
+	}
+}
+
+func TestNetForwardSinkRoutesAcrossChain(t *testing.T) {
+	eng := sim.New(1)
+	n := NewNet(eng, NetConfig{Hops: []Hop{{}, {}}, Seed: 1})
+	sink := &arrival{eng: eng}
+	n.ForwardSink(5, sink)
+	in := n.PathLR(6, &arrival{eng: eng})
+	in.Handle(&netem.Packet{Flow: 5, Kind: netem.Data, Size: 1000})
+	eng.Run()
+	if len(sink.pkts) != 1 {
+		t.Fatalf("sink got %d packets, want 1; unknown drops %d", len(sink.pkts), n.UnknownFlowDrops)
+	}
+}
+
+func TestNetZeroDelayHopExpressible(t *testing.T) {
+	cfg := NetConfig{Hops: []Hop{{Delay: ExplicitZero}, {}}, AccessDelay: ExplicitZero}
+	// Chain propagation RTT: 2*(2*0 + 0 + 21ms) = 42ms.
+	if got := cfg.PropRTT(); got < 0.0419 || got > 0.0421 {
+		t.Fatalf("PropRTT with explicit-zero delays = %v, want 42ms", got)
+	}
+	eng := sim.New(1)
+	n := NewNet(eng, cfg)
+	dst := &arrival{eng: eng}
+	in := n.PathLR(1, dst)
+	in.Handle(&netem.Packet{Flow: 1, Kind: netem.Data, Size: 1000})
+	eng.Run()
+	if len(dst.pkts) != 1 {
+		t.Fatal("zero-delay chain delivered nothing")
+	}
+	if dst.at[0] > 0.023 {
+		t.Fatalf("delivery at %v through a 21ms chain with zero access delay; sentinel not honored", dst.at[0])
+	}
+}
+
+func TestNetPerHopFaultInjection(t *testing.T) {
+	// Faults attach per hop: an outage on the middle hop must stop
+	// deliveries across it while the injector reports activity, and the
+	// chain must still audit clean.
+	eng := sim.New(1)
+	a := invariant.New(eng)
+	cfg := NetConfig{Hops: []Hop{{}, {}, {}}, Seed: 4, Audit: a}
+	cfg.Hops[1].Fault = faults.New(eng, faults.Config{
+		Seed:    4,
+		Windows: []faults.Window{{At: 0.1, Dur: 0.15}},
+	})
+	n := NewNet(eng, cfg)
+	dst := &arrival{eng: eng}
+	in := n.PathLR(1, dst)
+	for i := int64(0); i < 50; i++ {
+		i := i
+		eng.At(float64(i)*0.01, func() {
+			in.Handle(&netem.Packet{Flow: 1, Kind: netem.Data, Seq: i, Size: 1000})
+		})
+	}
+	eng.Run()
+	if len(dst.pkts) == 0 {
+		t.Fatal("no deliveries at all; outage should only cover part of the run")
+	}
+	if n.Fwd[1].Stats.DownDrops == 0 && n.Fwd[1].Transitions == 0 {
+		t.Fatal("middle-hop injector left no trace on the middle hop")
+	}
+	if n.Fwd[0].Transitions != 0 || n.Fwd[2].Transitions != 0 {
+		t.Fatal("fault leaked onto hops it was not attached to")
+	}
+	if err := a.Err(); err != nil {
+		t.Fatalf("faulted chain breached invariants: %v", err)
+	}
+}

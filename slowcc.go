@@ -68,6 +68,32 @@ type Dumbbell = topology.Dumbbell
 // NewDumbbell builds a dumbbell on eng.
 func NewDumbbell(eng *Engine, cfg DumbbellConfig) *Dumbbell { return topology.New(eng, cfg) }
 
+// ExplicitZero is the sentinel that config fields with a non-zero
+// default (bottleneck delay, access delay, RED minimum threshold)
+// accept to mean a literal zero rather than "use the default".
+const ExplicitZero = topology.ExplicitZero
+
+// Fabric is the topology interface algorithms wire onto: both the
+// dumbbell and the parking-lot chain implement it, so a flow never
+// knows how many bottlenecks it crosses.
+type Fabric = topology.Fabric
+
+// NetConfig configures the parking-lot chain topology: K bottleneck
+// hops in series, each with its own rate, delay, and queue discipline,
+// plus shared access-link parameters.
+type NetConfig = topology.NetConfig
+
+// NetHop describes one bottleneck hop of a parking-lot chain.
+type NetHop = topology.Hop
+
+// Net is the instantiated parking-lot chain. Cross traffic can enter
+// and leave at interior nodes via PathFwd/PathRev.
+type Net = topology.Net
+
+// NewNet builds a parking-lot chain on eng; a one-hop chain is
+// equivalent to the dumbbell.
+func NewNet(eng *Engine, cfg NetConfig) *Net { return topology.NewNet(eng, cfg) }
+
 // Flow bundles the endpoints of a wired flow.
 type Flow = exp.Flow
 
@@ -197,6 +223,35 @@ const (
 // SACKTCP returns TCP(b) with selective-acknowledgment recovery, the
 // closest match to the paper's ns-2 Sack1 agents.
 func SACKTCP(b float64) Algorithm { return exp.SACKTCPAlgo(b) }
+
+// CBR returns an unresponsive constant-bit-rate flow at rate bits/s,
+// the interaction matrix's baseline competitor.
+func CBR(rate float64) Algorithm { return exp.CBRAlgo(rate) }
+
+// ParseAlgo parses the CLI algorithm syntax shared by slowcctrace
+// -flow and slowccsim -matrix: name[:arg], e.g. "tcp:0.5", "tfrc:8",
+// "tear", "cbr:2.5e6".
+func ParseAlgo(spec string) (Algorithm, error) { return exp.ParseAlgoSpec(spec) }
+
+// ParseAlgoList parses a comma-separated list of algorithm specs.
+func ParseAlgoList(list string) ([]Algorithm, error) { return exp.ParseAlgoList(list) }
+
+// MatrixConfig drives the N x N pairwise algorithm interaction matrix
+// across conditions (static, oscillating, faulted) and topologies
+// (dumbbell, parking-lot).
+type MatrixConfig = exp.MatrixConfig
+
+// MatrixCell is one duel's outcome in the interaction matrix.
+type MatrixCell = exp.MatrixCell
+
+// Matrix runs the pairwise interaction sweep.
+func Matrix(cfg MatrixConfig) []MatrixCell { return exp.Matrix(cfg) }
+
+// RenderMatrix renders the human-readable ratio grids.
+func RenderMatrix(cfg MatrixConfig, cells []MatrixCell) string { return exp.RenderMatrix(cfg, cells) }
+
+// RenderMatrixTSV renders the deterministic TSV artifact.
+func RenderMatrixTSV(cells []MatrixCell) string { return exp.RenderMatrixTSV(cells) }
 
 // Observability layer (internal/obs; see DESIGN.md §9): periodic state
 // probes over cc internals, named monotonic counters over the core, a

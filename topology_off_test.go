@@ -1,0 +1,84 @@
+// Determinism guarantee of the topology generalization, checked at the
+// public surface: building a parking-lot chain on the same engine —
+// wired but carrying no traffic — must not change the event stream the
+// seed-1 dumbbell macro scenario produces. This is the same pin the
+// observability and fault layers hold (obs_test.go, faults_test.go):
+// new machinery may exist, but unused it costs zero events.
+package slowcc_test
+
+import (
+	"testing"
+
+	"slowcc"
+)
+
+// netMacroRun executes the slowccbench macro scenario (two standard TCP
+// flows, 10 Mbps, 30 s, seed 1) on the dumbbell, optionally
+// constructing an idle 2-hop parking-lot chain on the same engine
+// first, and returns the engine plus the bottleneck packet trace.
+func netMacroRun(t *testing.T, withNet bool) (*slowcc.Engine, []slowcc.TraceEvent) {
+	t.Helper()
+	eng := slowcc.NewEngine(1)
+	if withNet {
+		// Idle chain: built, seeded, routing tables allocated — but no
+		// flow ever wired onto it, so nothing may reach the event loop.
+		n := slowcc.NewNet(eng, slowcc.NetConfig{
+			Hops: []slowcc.NetHop{{Rate: 10e6}, {Rate: 10e6}},
+			Seed: 99,
+		})
+		if len(n.Fwd) != 2 || len(n.Rev) != 2 {
+			t.Fatalf("idle chain has %d/%d links, want 2/2", len(n.Fwd), len(n.Rev))
+		}
+	}
+	d := slowcc.NewDumbbell(eng, slowcc.DumbbellConfig{Rate: 10e6, Seed: 1})
+	rec := &slowcc.Tracer{}
+	d.LR.AddTap(rec.LinkTap())
+	f1 := slowcc.TCP(0.5).Make(eng, d, 1)
+	f2 := slowcc.TCP(0.5).Make(eng, d, 2)
+	eng.At(0, f1.Sender.Start)
+	eng.At(0, f2.Sender.Start)
+	eng.RunUntil(30)
+	return eng, rec.Events()
+}
+
+func TestIdleParkingLotDoesNotPerturbEventStream(t *testing.T) {
+	const pinnedEvents = 403989
+
+	plainEng, plainEv := netMacroRun(t, false)
+	wiredEng, wiredEv := netMacroRun(t, true)
+
+	if plainEng.Steps() != pinnedEvents {
+		t.Fatalf("plain run executed %d events, want the pinned %d", plainEng.Steps(), pinnedEvents)
+	}
+	if wiredEng.Steps() != pinnedEvents {
+		t.Fatalf("run with an idle parking-lot chain executed %d events, want the pinned %d: unused topology machinery perturbed the schedule",
+			wiredEng.Steps(), pinnedEvents)
+	}
+	if len(plainEv) != len(wiredEv) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(plainEv), len(wiredEv))
+	}
+	for i := range plainEv {
+		if plainEv[i] != wiredEv[i] {
+			t.Fatalf("trace event %d differs: %+v vs %+v", i, plainEv[i], wiredEv[i])
+		}
+	}
+}
+
+// A one-hop chain is the dumbbell: the same macro scenario run entirely
+// on a single-hop Net reproduces the pinned event count, so the chain
+// path is an exact generalization, not an approximation.
+func TestOneHopNetReproducesPinnedMacroRun(t *testing.T) {
+	eng := slowcc.NewEngine(1)
+	n := slowcc.NewNet(eng, slowcc.NetConfig{
+		Hops: []slowcc.NetHop{{Rate: 10e6}},
+		Seed: 1,
+	})
+	f1 := slowcc.TCP(0.5).Make(eng, n, 1)
+	f2 := slowcc.TCP(0.5).Make(eng, n, 2)
+	eng.At(0, f1.Sender.Start)
+	eng.At(0, f2.Sender.Start)
+	eng.RunUntil(30)
+	if got := eng.Steps(); got != 403989 {
+		t.Fatalf("one-hop chain macro run executed %d events, want the pinned 403989", got)
+	}
+}
