@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke bench-json report-smoke fuzz-smoke matrix-smoke
+.PHONY: ci vet build test race bench bench-smoke bench-json report-smoke fuzz-smoke matrix-smoke timeline-smoke
 
 # ci is the gate future PRs run: static checks, a full build, the
 # complete test suite under the race detector, and a single-iteration
@@ -10,7 +10,7 @@ GO ?= go
 # so packet-accounting regressions fail here even when no figure-level
 # assertion notices them; -race additionally exercises parallelMap's
 # worker pool.
-ci: vet build race bench-smoke report-smoke matrix-smoke fuzz-smoke
+ci: vet build race bench-smoke report-smoke matrix-smoke timeline-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -59,6 +59,27 @@ matrix-smoke:
 		-tsv .matrix-smoke/matrix.tsv -manifest .matrix-smoke/run.json > /dev/null
 	test -s .matrix-smoke/matrix.tsv
 	rm -rf .matrix-smoke
+
+# timeline-smoke drives the latency-attribution pipeline end to end
+# through the real binaries: a journey-enabled slowcctrace run writes a
+# Perfetto trace-event timeline and a histogram-carrying manifest, a
+# supervised matrix sweep writes its per-cell telemetry timeline, and
+# slowccreport must validate both JSON documents and render the
+# heatmap from the sweep's TSV artifact.
+timeline-smoke:
+	rm -rf .timeline-smoke && mkdir -p .timeline-smoke
+	$(GO) run ./cmd/slowcctrace -flow tcp:0.5 -flow tfrc:8 -dur 5 -journeys \
+		-timeline .timeline-smoke/journeys.json \
+		-manifest .timeline-smoke/run.json > /dev/null
+	$(GO) run ./cmd/slowccsim -exp matrix -matrix 'tcp:0.5,cbr:3e6' \
+		-topology dumbbell -fail-degraded \
+		-timeline .timeline-smoke/sweep.json \
+		-tsv .timeline-smoke/matrix.tsv > /dev/null
+	$(GO) run ./cmd/slowccreport -timeline .timeline-smoke/journeys.json \
+		.timeline-smoke/run.json > /dev/null
+	$(GO) run ./cmd/slowccreport -timeline .timeline-smoke/sweep.json \
+		-heatmap .timeline-smoke/matrix.tsv > /dev/null
+	rm -rf .timeline-smoke
 
 # fuzz-smoke gives each parser fuzz target a few seconds of coverage-
 # guided input on every ci run — long enough to re-find shallow

@@ -383,6 +383,29 @@ func BenchmarkEnginePacketsPerSecondTopoOff(b *testing.B) {
 	}
 }
 
+// BenchmarkEnginePacketsPerSecondJourneyOff is the macro scenario with
+// the journey layer wired but disabled: ObserveJourneys(nil) is the
+// configuration every link runs under permanently — a nil hook field
+// checked once per journey event site (enqueue, tx start, tx end,
+// deliver, drop). The cmd/slowccbench journey gate pairs this against
+// the plain variant from the same run and fails on more than 2%
+// slowdown, any extra allocations over the PR 2 record, or any
+// event-count drift — "journey capture costs nothing when off" stated
+// as a regression check.
+func BenchmarkEnginePacketsPerSecondJourneyOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := slowcc.NewEngine(int64(i + 1))
+		d := slowcc.NewDumbbell(eng, slowcc.DumbbellConfig{Rate: 10e6, Seed: int64(i + 1)})
+		d.ObserveJourneys(nil)
+		f1 := slowcc.TCP(0.5).Make(eng, d, 1)
+		f2 := slowcc.TCP(0.5).Make(eng, d, 2)
+		eng.At(0, f1.Sender.Start)
+		eng.At(0, f2.Sender.Start)
+		eng.RunUntil(30)
+		b.ReportMetric(float64(eng.Steps()), "events")
+	}
+}
+
 // BenchmarkSACKAblation reruns the Figure 5 headline cell with
 // SACK-recovery TCP as the yardstick family, checking the fidelity
 // deviation noted in EXPERIMENTS.md does not change the conclusion.

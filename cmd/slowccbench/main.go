@@ -14,9 +14,11 @@
 // invocation (a paired comparison, so machine drift between commits
 // cannot fake a pass or a fail) and may not allocate a single op more
 // than the PR 2 allocation-free record, with identical event counts
-// throughout. The fault-injection (EnginePacketsPerSecondFaultsOff) and
+// throughout. The fault-injection (EnginePacketsPerSecondFaultsOff),
 // topology (EnginePacketsPerSecondTopoOff — an idle parking-lot chain
-// on the same engine) variants are held to the same paired gate.
+// on the same engine), and journey (EnginePacketsPerSecondJourneyOff —
+// journey hooks wired but disabled via ObserveJourneys(nil)) variants
+// are held to the same paired gate.
 //
 // Usage:
 //
@@ -97,6 +99,7 @@ type report struct {
 	Obs        obsOutcome `json:"obs_overhead"`
 	Faults     obsOutcome `json:"faults_overhead"`
 	Topo       obsOutcome `json:"topology_overhead"`
+	Journey    obsOutcome `json:"journey_overhead"`
 }
 
 type gates struct {
@@ -135,7 +138,7 @@ var suites = []struct{ pkg, pattern string }{
 	// The Obs variant runs in the same invocation as the plain macro-
 	// benchmark so the overhead comparison is paired: same machine,
 	// same load, interleaved by -count.
-	{".", "EnginePacketsPerSecond$|EnginePacketsPerSecondObsOff|EnginePacketsPerSecondFaultsOff|EnginePacketsPerSecondTopoOff|TCPFlowSimSecond|TFRCFlowSimSecond"},
+	{".", "EnginePacketsPerSecond$|EnginePacketsPerSecondObsOff|EnginePacketsPerSecondFaultsOff|EnginePacketsPerSecondTopoOff|EnginePacketsPerSecondJourneyOff|TCPFlowSimSecond|TFRCFlowSimSecond"},
 	{"./internal/sim", "EngineEventTurnover"},
 	{"./internal/netem", "LinkForward"},
 }
@@ -185,6 +188,10 @@ func main() {
 			cur.Benchmarks["EnginePacketsPerSecond"],
 			cur.Benchmarks["EnginePacketsPerSecondTopoOff"],
 			pr2.Benchmarks["EnginePacketsPerSecond"], g),
+		Journey: obsOverhead("EnginePacketsPerSecondJourneyOff",
+			cur.Benchmarks["EnginePacketsPerSecond"],
+			cur.Benchmarks["EnginePacketsPerSecondJourneyOff"],
+			pr2.Benchmarks["EnginePacketsPerSecond"], g),
 	}
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
@@ -200,7 +207,7 @@ func main() {
 	t := rep.Trajectory
 	fmt.Printf("%s: speedup %.2fx (gate %.1fx), allocs drop %.2f%% (gate %.0f%%), events identical: %v -> %s\n",
 		t.Benchmark, t.Speedup, g.MinSpeedup, t.AllocsDrop*100, g.MinAllocsDrop*100, t.EventsSame, *out)
-	for _, o := range []obsOutcome{rep.Obs, rep.Faults, rep.Topo} {
+	for _, o := range []obsOutcome{rep.Obs, rep.Faults, rep.Topo, rep.Journey} {
 		fmt.Printf("%s: slowdown %.3fx vs plain (gate %.2fx), extra allocs %+.0f vs pr2 (gate %+.0f), events identical: %v\n",
 			o.Benchmark, o.Slowdown, g.MaxObsSlowdown, o.ExtraAllocs, g.MaxObsExtraAllocs, o.EventsSame)
 	}
@@ -218,6 +225,10 @@ func main() {
 	}
 	if !rep.Topo.Pass {
 		fmt.Fprintln(os.Stderr, "slowccbench: topology overhead gates NOT met")
+		os.Exit(1)
+	}
+	if !rep.Journey.Pass {
+		fmt.Fprintln(os.Stderr, "slowccbench: journey overhead gates NOT met")
 		os.Exit(1)
 	}
 }

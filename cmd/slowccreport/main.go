@@ -10,10 +10,20 @@
 // longer matches its recorded digest is rejected, so a report is always
 // over authentic run records.
 //
+// Beyond manifests, it renders two other deterministic artifacts:
+// -heatmap turns a matrix TSV (slowccsim -exp matrix -tsv) into ASCII
+// heatmap grids of -heatmap-metric (ratio, jain, or utilization), or a
+// standalone SVG with -heatmap-svg; -timeline validates a trace-event
+// JSON timeline (slowcctrace -timeline, slowccsim -timeline) and
+// reports its event count, the CI smoke's JSON gate.
+//
 // Usage:
 //
 //	slowccreport run1.json run2.json
 //	slowccreport -probes run1.probes.tsv run1.json
+//	slowccreport -heatmap matrix.tsv -heatmap-metric jain
+//	slowccreport -heatmap matrix.tsv -heatmap-svg matrix.svg
+//	slowccreport -timeline tl.json
 package main
 
 import (
@@ -38,9 +48,33 @@ func (f *tsvList) Set(v string) error {
 func main() {
 	var probeFiles tsvList
 	flag.Var(&probeFiles, "probes", "probe TSV for the i-th manifest (repeatable, positional match)")
+	var (
+		heatmap    = flag.String("heatmap", "", "render a matrix TSV artifact (slowccsim -exp matrix -tsv) as ASCII heatmaps")
+		heatMetric = flag.String("heatmap-metric", "ratio", "heatmap metric: "+strings.Join(slowcc.MatrixMetrics(), ", "))
+		heatSVG    = flag.String("heatmap-svg", "", "also write the heatmap as a standalone SVG to this path")
+		timeline   = flag.String("timeline", "", "validate a trace-event JSON timeline and report its event count")
+	)
 	flag.Parse()
+
+	ran := false
+	if *timeline != "" {
+		ran = true
+		n, err := slowcc.ReadTimelineFile(*timeline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("timeline %s: valid, %d events\n", *timeline, n)
+	}
+	if *heatmap != "" {
+		ran = true
+		renderHeatmap(*heatmap, *heatMetric, *heatSVG)
+	}
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: slowccreport [-probes probes.tsv]... manifest.json...")
+		if ran {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "usage: slowccreport [-probes probes.tsv]... [-heatmap matrix.tsv] [-timeline tl.json] manifest.json...")
 		os.Exit(2)
 	}
 
@@ -74,4 +108,38 @@ func main() {
 	}
 
 	fmt.Print(slowcc.RenderReport(manifests, samples))
+}
+
+// renderHeatmap reads a matrix TSV artifact and prints its ASCII
+// heatmap, optionally writing the SVG rendering alongside.
+func renderHeatmap(path, metric, svgPath string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cells, err := slowcc.ParseMatrixTSV(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	text, err := slowcc.RenderMatrixHeatmap(cells, metric)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(text)
+	if svgPath != "" {
+		svg, err := slowcc.RenderMatrixHeatmapSVG(cells, metric)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(svgPath, []byte(svg), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("heatmap SVG written to %s\n", svgPath)
+	}
 }

@@ -89,3 +89,51 @@ func TestReportGolden(t *testing.T) {
 			goldenPath, report, golden)
 	}
 }
+
+// TestJourneyReportGolden pins the report rendering for a
+// journey-enabled run: the manifest carries per-hop queue-delay,
+// drop-burst, and per-flow RTT histograms, and the report renders them
+// as an aligned table after the manifest columns. Regenerate with
+// -update after intentional format changes.
+func TestJourneyReportGolden(t *testing.T) {
+	dir := t.TempDir()
+	manifestPath := filepath.Join(dir, "run.json")
+
+	run := slowcc.NewTraceRun(slowcc.TraceRunConfig{
+		Seed:     1,
+		Rate:     10e6,
+		Duration: 5,
+		Algos:    []slowcc.Algorithm{slowcc.TCP(0.5), slowcc.TFRC(slowcc.TFRCOptions{K: 8, HistoryDiscounting: true})},
+		Journeys: true,
+	})
+	run.Run()
+
+	m := run.Manifest("slowcctrace")
+	m.WallTimeS = 0
+	if err := m.WriteFile(manifestPath); err != nil {
+		t.Fatal(err)
+	}
+	got, err := slowcc.ReadManifest(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Histograms) == 0 {
+		t.Fatal("journey run manifest carries no histograms")
+	}
+	report := slowcc.RenderReport([]*slowcc.Manifest{got}, nil)
+
+	goldenPath := filepath.Join("testdata", "journey_report.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(report), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update to create): %v", err)
+	}
+	if report != string(golden) {
+		t.Fatalf("journey report differs from %s (re-run with -update after intentional changes)\ngot:\n%s\nwant:\n%s",
+			goldenPath, report, golden)
+	}
+}

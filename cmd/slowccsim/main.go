@@ -18,6 +18,14 @@
 // bottleneck; -max-events and -deadline bound runaway cells, and a
 // sweep cell that panics or times out is reported as degraded on
 // stderr (and counted in the manifest) instead of killing the run.
+//
+// -timeline records sweep telemetry as Chrome trace-event JSON: every
+// supervised cell contributes a queued span, one running (or retry)
+// span on the lane of the worker goroutine that executed it, and a
+// degraded instant if it exhausted its attempts. Load the file in
+// Perfetto to see how a matrix run scheduled across workers:
+//
+//	slowccsim -exp matrix -timeline sweep.json
 package main
 
 import (
@@ -86,6 +94,7 @@ func main() {
 		maxEvents  = flag.Int64("max-events", 0, "halt any single scenario after this many events (0 = unbounded)")
 		deadline   = flag.Duration("deadline", 0, "per-sweep-cell wall-clock deadline; a cell over it is degraded, not fatal (0 = none)")
 		faultSpec  = flag.String("fault", "", "fault spec injected at every scenario's bottleneck, e.g. 'down:25+5;corrupt:0.001' (see internal/faults)")
+		timeline   = flag.String("timeline", "", "write sweep telemetry (per-cell queued/running/retry/degraded spans, one lane per worker) as trace-event JSON to this path")
 	)
 	flag.StringVar(&matrixFlags.algos, "matrix", "", "matrix experiment: comma-separated algorithm specs, e.g. 'tcp:0.5,tfrc:8,sqrt' (empty = the paper's seven)")
 	flag.StringVar(&matrixFlags.topology, "topology", "both", "matrix experiment: dumbbell, parking-lot[:hops], or both")
@@ -114,6 +123,11 @@ func main() {
 			os.Exit(2)
 		}
 		exp.SetFaultConfig(&fc)
+	}
+	var sweepTL *obs.Timeline
+	if *timeline != "" {
+		sweepTL = obs.NewTimeline()
+		exp.SetSweepTimeline(sweepTL)
 	}
 
 	if *cpuProfile != "" {
@@ -215,6 +229,13 @@ func main() {
 		}
 		m.Config["degraded_cells"] = strconv.Itoa(len(errs))
 		degraded = true
+	}
+	if sweepTL != nil {
+		if err := sweepTL.WriteFile(*timeline); err != nil {
+			fmt.Fprintf(os.Stderr, "timeline: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("sweep timeline written to %s (%d events)\n", *timeline, sweepTL.Len())
 	}
 	if *manifest != "" {
 		m.WallTimeS = time.Since(wallStart).Seconds()

@@ -36,6 +36,19 @@
 // algorithms, event count, counters, sha256 digests of the written
 // trace/probe files); cmd/slowccreport renders one or more manifests
 // side by side.
+//
+// -journeys records per-packet, per-hop journey spans and prints a
+// latency attribution table: each hop's exact queueing, transmission,
+// and propagation delay sums, which tile the measured end-to-end delay
+// of every delivered packet. Journey histograms (per-hop queue delay
+// and drop-burst lengths, per-flow ACK RTT) flow into the manifest.
+// -timeline additionally writes the spans as Chrome trace-event JSON:
+//
+//	slowcctrace -flow tcp:0.5 -flow tfrc:8 -journeys -timeline tl.json
+//
+// then load tl.json in Perfetto (ui.perfetto.dev) or chrome://tracing:
+// one lane per hop, one row per flow, with queue/tx/prop microseconds
+// on every span.
 package main
 
 import (
@@ -78,6 +91,8 @@ func main() {
 		probeOut = flag.String("probes", "", "probe TSV output path (default <out>.probes.tsv when -probe is set with -out)")
 		manifest = flag.String("manifest", "", "run-manifest JSON output path (omit to skip)")
 		fault    = flag.String("fault", "", "fault spec for the forward bottleneck, e.g. 'down:10+2;corrupt:0.001' (see internal/faults)")
+		journeys = flag.Bool("journeys", false, "record per-hop packet journeys and print the latency attribution table")
+		timeline = flag.String("timeline", "", "write a Perfetto-loadable trace-event JSON timeline of the journeys to this path (implies -journeys)")
 	)
 	flag.Parse()
 	if *fault != "" {
@@ -97,6 +112,7 @@ func main() {
 		ECN:           *ecn,
 		ProbeInterval: *probe,
 		FaultSpec:     *fault,
+		Journeys:      *journeys || *timeline != "",
 	}
 	for _, spec := range flows {
 		algo, err := parseAlgo(spec)
@@ -140,6 +156,20 @@ func main() {
 
 	m := run.Manifest("slowcctrace")
 
+	if run.Journeys != nil {
+		printAttribution(run.Journeys)
+	}
+	if *timeline != "" {
+		tl := slowcc.NewTimeline()
+		run.Journeys.WriteTimeline(tl)
+		if err := tl.WriteFile(*timeline); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		m.Outputs["timeline"] = digestFile(*timeline)
+		fmt.Printf("timeline written to %s (%d events; load in Perfetto or chrome://tracing)\n", *timeline, tl.Len())
+	}
+
 	if *out != "" {
 		writeOut(*out, func(f *os.File) error { return rec.WriteTSV(f) })
 		m.Outputs["trace"] = digestFile(*out)
@@ -162,6 +192,31 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("manifest written to %s\n", *manifest)
+	}
+}
+
+// printAttribution renders the per-hop latency attribution table: for
+// every hop the delivered/dropped counts and the exact queueing,
+// transmission, and propagation sums, then the end-to-end identity
+// those components tile.
+func printAttribution(rec *slowcc.JourneyRecorder) {
+	fmt.Println("\nlatency attribution (per hop, delivered packets):")
+	fmt.Printf("%-22s %9s %7s %12s %12s %12s %10s\n",
+		"hop", "delivered", "drops", "queue_s", "tx_s", "prop_s", "q_p99_ms")
+	for _, h := range rec.Hops() {
+		fmt.Printf("%-22s %9d %7d %12.6f %12.6f %12.6f %10.3f\n",
+			h.Name, h.Delivered, h.Drops, h.QueueSum, h.TxSum, h.PropSum,
+			h.QueueDelay.P99*1e3)
+	}
+	n, e2e, queue, tx, prop := rec.Attribution()
+	if n > 0 {
+		fmt.Printf("end-to-end: %d packets, mean delay %.3f ms = queue %.3f + tx %.3f + prop %.3f (ms)\n",
+			n, e2e/float64(n)*1e3, queue/float64(n)*1e3, tx/float64(n)*1e3, prop/float64(n)*1e3)
+	}
+	flows, rtts := rec.FlowRTTs()
+	for i, f := range flows {
+		fmt.Printf("flow %d ack rtt: n=%d p50=%.1f ms p99=%.1f ms max=%.1f ms\n",
+			f, rtts[i].Count, rtts[i].P50*1e3, rtts[i].P99*1e3, rtts[i].Max*1e3)
 	}
 }
 

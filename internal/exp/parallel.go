@@ -47,17 +47,25 @@ func captureStack() []byte {
 // ordinary panic with context. When several indices panic, the lowest
 // index wins, which keeps the reported failure deterministic.
 func parallelMap[T any](n int, fn func(i int) T) []T {
+	return parallelMapIndexed(n, func(worker, i int) T { return fn(i) })
+}
+
+// parallelMapIndexed is parallelMap with the worker (goroutine) index
+// threaded into fn, so supervised sweeps can attribute each cell to the
+// worker lane that ran it in timeline exports. Worker indices are
+// 0..workers-1; the single-worker fallback uses 0.
+func parallelMapIndexed[T any](n int, fn func(worker, i int) T) []T {
 	out := make([]T, n)
 	if n == 0 {
 		return out
 	}
-	run := func(i int) (p *sweepPanic) {
+	run := func(worker, i int) (p *sweepPanic) {
 		defer func() {
 			if v := recover(); v != nil {
 				p = &sweepPanic{index: i, value: v, stack: captureStack()}
 			}
 		}()
-		out[i] = fn(i)
+		out[i] = fn(worker, i)
 		return nil
 	}
 	workers := runtime.GOMAXPROCS(0)
@@ -66,7 +74,7 @@ func parallelMap[T any](n int, fn func(i int) T) []T {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if p := run(i); p != nil {
+			if p := run(0, i); p != nil {
 				panic(p.String())
 			}
 		}
@@ -80,12 +88,12 @@ func parallelMap[T any](n int, fn func(i int) T) []T {
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			// Recovering per item keeps the worker draining the channel, so
 			// the feeder can never deadlock behind a dead worker.
 			for i := range next {
-				if p := run(i); p != nil {
+				if p := run(worker, i); p != nil {
 					mu.Lock()
 					if firstPan == nil || p.index < firstPan.index {
 						firstPan = p
@@ -93,7 +101,7 @@ func parallelMap[T any](n int, fn func(i int) T) []T {
 					mu.Unlock()
 				}
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		next <- i

@@ -112,11 +112,13 @@ func deriveSeed(seed int64, attempt int) int64 {
 // wiring, and the degraded-cell collector. Like the audit collector it
 // is shared across engines because sweeps run cells concurrently.
 var supervision = struct {
-	mu     sync.Mutex
-	pol    CellPolicy
-	errs   []*RunError
-	budget *sim.Budget
-	fault  *faults.Config
+	mu       sync.Mutex
+	pol      CellPolicy
+	errs     []*RunError
+	budget   *sim.Budget
+	fault    *faults.Config
+	timeline *obs.Timeline
+	sweepT0  time.Time
 }{pol: CellPolicy{Retries: 1}}
 
 // SetSweepPolicy installs the cell policy used by supervised sweeps and
@@ -180,6 +182,44 @@ func SetFaultConfig(fc *faults.Config) (prev *faults.Config) {
 	return prev
 }
 
+// SetSweepTimeline installs a timeline that supervised sweeps emit
+// per-cell telemetry spans into — queued time, one span per attempt
+// (running or retry), and a degraded instant when a cell exhausts its
+// attempts — or nil to remove it. Timestamps are wall-clock
+// microseconds since this call, and each running span lands on the
+// lane of the worker goroutine that executed it, so a sweep becomes
+// one inspectable trace alongside any packet journeys. Returns the
+// previous timeline.
+func SetSweepTimeline(tl *obs.Timeline) (prev *obs.Timeline) {
+	supervision.mu.Lock()
+	defer supervision.mu.Unlock()
+	prev = supervision.timeline
+	supervision.timeline = tl
+	supervision.sweepT0 = time.Now()
+	return prev
+}
+
+func sweepTimeline() (*obs.Timeline, time.Time) {
+	supervision.mu.Lock()
+	defer supervision.mu.Unlock()
+	return supervision.timeline, supervision.sweepT0
+}
+
+// Sweep-telemetry lane layout. Workers share the sweep process (pid
+// sweepWorkersPid, one thread per worker goroutine); queued spans get
+// one row per cell in their own process so overlapping waits stay
+// readable. Journey exports start at pid 1 and count up by hop, so the
+// queue lane sits far above any plausible hop count.
+const (
+	sweepWorkersPid = 0
+	sweepQueuePid   = 1000
+)
+
+// sweepSince converts a wall-clock instant into timeline microseconds.
+func sweepSince(t0 time.Time) float64 {
+	return float64(time.Since(t0)) / float64(time.Microsecond)
+}
+
 func scenarioGlobals() (*sim.Budget, *faults.Config, CellPolicy) {
 	supervision.mu.Lock()
 	defer supervision.mu.Unlock()
@@ -193,25 +233,65 @@ func scenarioGlobals() (*sim.Budget, *faults.Config, CellPolicy) {
 // success the error is nil; callers that are not part of a sweep get
 // the error directly and nothing is recorded in SweepErrors.
 func Supervise[T any](index int, job func(c *Cell) T) (T, *RunError) {
-	return superviseCell(index, SweepPolicy(), job)
+	return superviseCell(index, 0, SweepPolicy(), job)
 }
 
-func superviseCell[T any](index int, pol CellPolicy, job func(c *Cell) T) (T, *RunError) {
+func superviseCell[T any](index, worker int, pol CellPolicy, job func(c *Cell) T) (T, *RunError) {
 	attempts := pol.Retries + 1
 	if attempts < 1 {
 		attempts = 1
 	}
+	tl, t0 := sweepTimeline()
+	if tl != nil {
+		// The cell waited in the feed queue from sweep start until this
+		// worker picked it up; give that wait its own row so slow-to-start
+		// cells are visible at a glance.
+		wait := sweepSince(t0)
+		tl.ProcessName(sweepQueuePid, "sweep queue")
+		tl.ThreadName(sweepQueuePid, index, fmt.Sprintf("cell %d", index))
+		tl.Span("queued", fmt.Sprintf("cell %d queued", index), sweepQueuePid, index, 0, wait, nil)
+		tl.ProcessName(sweepWorkersPid, "sweep workers")
+		tl.ThreadName(sweepWorkersPid, worker, fmt.Sprintf("worker %d", worker))
+	}
 	var last *RunError
 	for a := 0; a < attempts; a++ {
+		start := 0.0
+		if tl != nil {
+			start = sweepSince(t0)
+		}
 		v, rerr := runAttempt(index, a, pol, job)
+		if tl != nil {
+			cat, name := "running", fmt.Sprintf("cell %d", index)
+			if a > 0 {
+				cat, name = "retry", fmt.Sprintf("cell %d retry %d", index, a)
+			}
+			args := map[string]any{"index": index, "attempt": a, "outcome": attemptOutcome(rerr)}
+			tl.Span(cat, name, sweepWorkersPid, worker, start, sweepSince(t0)-start, args)
+		}
 		if rerr == nil {
 			return v, nil
 		}
 		last = rerr
 	}
 	last.Attempts = attempts
+	if tl != nil {
+		tl.Instant("degraded", fmt.Sprintf("cell %d degraded", index), sweepWorkersPid, worker, sweepSince(t0),
+			map[string]any{"index": index, "attempts": attempts})
+	}
 	var zero T
 	return zero, last
+}
+
+// attemptOutcome labels a finished attempt for timeline args.
+func attemptOutcome(rerr *RunError) string {
+	switch {
+	case rerr == nil:
+		return "ok"
+	case rerr.Deadline:
+		return "deadline"
+	default:
+		return "panic"
+	}
 }
 
 // runAttempt executes one attempt with panic recovery; with a deadline
@@ -278,8 +358,8 @@ func supervisedMap[T any](n int, fn func(c *Cell) T) []T {
 		v    T
 		rerr *RunError
 	}
-	cells := parallelMap(n, func(i int) res {
-		v, rerr := superviseCell(i, pol, fn)
+	cells := parallelMapIndexed(n, func(worker, i int) res {
+		v, rerr := superviseCell(i, worker, pol, fn)
 		return res{v, rerr}
 	})
 	out := make([]T, n)

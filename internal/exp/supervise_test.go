@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"slowcc/internal/obs"
 	"slowcc/internal/sim"
 	"slowcc/internal/topology"
 )
@@ -246,5 +247,55 @@ func TestSuperviseDeadlinePairsWithBudget(t *testing.T) {
 		// halted its engine.
 	case <-time.After(5 * time.Second):
 		t.Fatal("abandoned cell never halted; the budget pairing is broken")
+	}
+}
+
+func TestSweepTimelineEmitsCellSpans(t *testing.T) {
+	withPolicy(t, CellPolicy{Retries: 1})
+	tl := obs.NewTimeline()
+	prev := SetSweepTimeline(tl)
+	defer SetSweepTimeline(prev)
+
+	const n, poisoned = 6, 4
+	supervisedMap(n, func(c *Cell) int {
+		if c.Index() == poisoned {
+			panic("always fails")
+		}
+		return c.Index()
+	})
+
+	var buf strings.Builder
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ValidateTimeline([]byte(buf.String()))
+	if err != nil {
+		t.Fatalf("sweep timeline is not loadable: %v", err)
+	}
+	// Every cell gets a queued span and a running span; the poisoned one
+	// adds a retry span and a degraded instant, plus lane metadata.
+	if events < 2*n+2 {
+		t.Fatalf("timeline has %d events, want at least %d", events, 2*n+2)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"cat":"queued"`, `"cat":"running"`, `"cat":"retry"`, `"cat":"degraded"`,
+		`"sweep queue"`, `"sweep workers"`, `"worker 0"`,
+		`"cell 4 retry 1"`, `"cell 4 degraded"`, `"outcome":"ok"`, `"outcome":"panic"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepTimelineRemovedIsQuiet(t *testing.T) {
+	withPolicy(t, CellPolicy{Retries: 0})
+	tl := obs.NewTimeline()
+	SetSweepTimeline(tl)
+	SetSweepTimeline(nil)
+	supervisedMap(3, func(c *Cell) int { return c.Index() })
+	if got := tl.Len(); got != 0 {
+		t.Fatalf("removed timeline still collected %d events", got)
 	}
 }

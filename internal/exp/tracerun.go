@@ -7,6 +7,7 @@ import (
 
 	"slowcc/internal/faults"
 	"slowcc/internal/obs"
+	"slowcc/internal/obs/journey"
 	"slowcc/internal/sim"
 	"slowcc/internal/topology"
 	"slowcc/internal/trace"
@@ -37,6 +38,12 @@ type TraceRunConfig struct {
 	// identical to one with no spec at all. Invalid specs panic — parse
 	// user input with faults.ParseSpec first.
 	FaultSpec string
+	// Journeys attaches a journey recorder to every link of the
+	// topology, capturing per-packet per-hop latency spans, per-hop
+	// queue-delay and drop-burst histograms, and per-flow RTT
+	// histograms. Off (the default) leaves the one-pointer-check
+	// disabled path.
+	Journeys bool
 }
 
 func (c *TraceRunConfig) fill() {
@@ -60,6 +67,9 @@ type TraceRun struct {
 	Rec      *trace.Recorder
 	Sampler  *obs.Sampler
 	Registry *obs.Registry
+	// Journeys is the per-hop span recorder (nil unless
+	// TraceRunConfig.Journeys was set).
+	Journeys *journey.Recorder
 	Flows    []Flow
 	// Names are the algorithm names, flow order.
 	Names []string
@@ -97,8 +107,14 @@ func NewTraceRun(cfg TraceRunConfig) *TraceRun {
 		Sampler:  obs.NewSampler(cfg.ProbeInterval),
 		Registry: &obs.Registry{},
 	}
-	d.LR.AddTap(r.Rec.LinkTap())
+	d.LR.AddTap(r.Rec.HopTap("lr"))
 	d.Observe(r.Registry)
+	if cfg.Journeys {
+		// Before the flows wire: access links attach to the recorder as
+		// each path is built.
+		r.Journeys = journey.New()
+		d.ObserveJourneys(r.Journeys)
+	}
 
 	for i, algo := range cfg.Algos {
 		f := algo.Make(eng, d, i+1)
@@ -135,6 +151,16 @@ func (r *TraceRun) Manifest(tool string) *obs.Manifest {
 	}
 	m.Events = r.Eng.Steps()
 	m.Counters = r.Registry.Snapshot()
+	if r.Journeys != nil {
+		r.Journeys.Finalize()
+		// A throwaway registry keeps Manifest idempotent: the per-flow
+		// RTT histograms only exist after the run, so they cannot be
+		// registered at construction time.
+		hreg := &obs.Registry{}
+		r.Journeys.RegisterHistograms(hreg)
+		m.Histograms = hreg.Histograms()
+		m.Config["journeys"] = "true"
+	}
 	if r.ran {
 		m.WallTimeS = time.Since(r.started).Seconds()
 	}

@@ -43,6 +43,36 @@ const (
 // the bottleneck.
 type Tap func(p *Packet, accepted bool, now sim.Time)
 
+// JourneyOp identifies a packet lifecycle point on a link. The sequence
+// for an accepted packet is JEnqueue → JTxStart → JTxEnd → JDeliver; a
+// refused packet (queue overflow, RED force-drop, or a down link under
+// DownDrop) sees a single JDrop instead.
+type JourneyOp uint8
+
+const (
+	// JEnqueue: the queue accepted the packet.
+	JEnqueue JourneyOp = iota
+	// JTxStart: the packet reached the head of line and its first bit
+	// went on the wire.
+	JTxStart
+	// JTxEnd: the last bit was serialized; propagation begins.
+	JTxEnd
+	// JDeliver: the packet is about to be handed to Dst.
+	JDeliver
+	// JDrop: the link refused the packet. The observer sees the packet
+	// before it returns to the pool and must not retain it.
+	JDrop
+)
+
+// JourneyObserver receives per-packet lifecycle events from a link. The
+// hop index is the link's JourneyHop, assigned at wiring time, so one
+// observer can attribute time across every hop of a path. Observers run
+// synchronously on the hot path and must not schedule events or retain
+// dropped packets.
+type JourneyObserver interface {
+	ObserveJourney(hop int, op JourneyOp, p *Packet, now sim.Time)
+}
+
 // LinkAuditor checks link accounting invariants (see internal/invariant).
 // AuditLink is called after every accounting transition — each Send and
 // each transmission completion — with the link in a settled state, so an
@@ -87,6 +117,13 @@ type Link struct {
 	// moment and must release (taps and the auditor observe the packet
 	// first; see PacketPool for the ownership rules).
 	Pool *PacketPool
+	// Journey, when non-nil, observes packet lifecycle points (enqueue,
+	// tx start, tx end, deliver, drop) with JourneyHop as the hop
+	// identity. Nil (the default) costs one pointer check per event.
+	Journey JourneyObserver
+	// JourneyHop is the hop index reported to Journey; topologies assign
+	// it when wiring a journey recorder onto their links.
+	JourneyHop int
 
 	taps []Tap
 	busy bool
@@ -108,7 +145,13 @@ type Link struct {
 func NewLink(eng *sim.Engine, rate float64, delay sim.Time, q Queue, dst Handler) *Link {
 	l := &Link{eng: eng, Rate: rate, Delay: delay, Q: q, Dst: dst}
 	l.finishFn = func(a any) { l.finishTx(a.(*Packet)) }
-	l.deliverFn = func(a any) { l.Dst.Handle(a.(*Packet)) }
+	l.deliverFn = func(a any) {
+		p := a.(*Packet)
+		if l.Journey != nil {
+			l.Journey.ObserveJourney(l.JourneyHop, JDeliver, p, l.eng.Now())
+		}
+		l.Dst.Handle(p)
+	}
 	return l
 }
 
@@ -186,6 +229,9 @@ func (l *Link) Send(p *Packet) bool {
 		if l.Audit != nil {
 			l.Audit.AuditLink(l, now)
 		}
+		if l.Journey != nil {
+			l.Journey.ObserveJourney(l.JourneyHop, JDrop, p, now)
+		}
 		l.Pool.Put(p)
 		return false
 	}
@@ -198,8 +244,14 @@ func (l *Link) Send(p *Packet) bool {
 		if l.Audit != nil {
 			l.Audit.AuditLink(l, now)
 		}
+		if l.Journey != nil {
+			l.Journey.ObserveJourney(l.JourneyHop, JDrop, p, now)
+		}
 		l.Pool.Put(p)
 		return false
+	}
+	if l.Journey != nil {
+		l.Journey.ObserveJourney(l.JourneyHop, JEnqueue, p, now)
 	}
 	if !l.busy {
 		l.startTx()
@@ -224,12 +276,18 @@ func (l *Link) startTx() {
 		return
 	}
 	l.busy = true
+	if l.Journey != nil {
+		l.Journey.ObserveJourney(l.JourneyHop, JTxStart, p, l.eng.Now())
+	}
 	l.eng.AfterFunc(l.TxTime(p.Size), l.finishFn, p)
 }
 
 func (l *Link) finishTx(p *Packet) {
 	l.Stats.Departures++
 	l.Stats.Bytes += int64(p.Size)
+	if l.Journey != nil {
+		l.Journey.ObserveJourney(l.JourneyHop, JTxEnd, p, l.eng.Now())
+	}
 	delay := l.Delay
 	if l.Jitter > 0 && l.JitterRNG != nil {
 		delay += l.Jitter * l.JitterRNG.Float64()

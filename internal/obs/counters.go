@@ -33,6 +33,12 @@ type Counter struct {
 //	pool.gets  pool.puts  pool.reuses  pool.guard_trips
 type Registry struct {
 	counters []Counter
+	hists    []namedHist
+}
+
+type namedHist struct {
+	name string
+	h    *Histogram
 }
 
 // Register adds one counter. Later registrations with the same name are
@@ -43,6 +49,31 @@ func (g *Registry) Register(name string, read func() int64) {
 		return
 	}
 	g.counters = append(g.counters, Counter{Name: name, Read: read})
+}
+
+// RegisterHistogram adds one named histogram. Like counters, the
+// registry only holds the pointer; the owner keeps recording into it on
+// the hot path and Histograms snapshots the summaries at read time.
+// Histogram names follow the counter convention, component first
+// (journey.<hop>.queue_delay, journey.flow<n>.rtt, ...).
+func (g *Registry) RegisterHistogram(name string, h *Histogram) {
+	if h == nil {
+		return
+	}
+	g.hists = append(g.hists, namedHist{name: name, h: h})
+}
+
+// Histograms snapshots every registered histogram into a name->summary
+// map. Empty histograms are kept: a zero count is itself a finding.
+func (g *Registry) Histograms() map[string]HistSummary {
+	if len(g.hists) == 0 {
+		return nil
+	}
+	out := make(map[string]HistSummary, len(g.hists))
+	for _, nh := range g.hists {
+		out[nh.name] = nh.h.Summary()
+	}
+	return out
 }
 
 // AddEngine registers the scheduler counters of e.

@@ -34,6 +34,11 @@ type Manifest struct {
 	Events uint64 `json:"events"`
 	// Counters is a Registry snapshot taken at the end of the run.
 	Counters map[string]int64 `json:"counters,omitempty"`
+	// Histograms holds summaries of every registered histogram (per-hop
+	// queue delay, per-flow RTT, drop-burst lengths). Omitted when no
+	// histograms were registered, so pre-journey manifests keep their
+	// digests.
+	Histograms map[string]HistSummary `json:"histograms,omitempty"`
 	// Outputs maps each produced artifact (trace TSV, probe TSV, ...)
 	// to the sha256 of its contents.
 	Outputs map[string]string `json:"outputs,omitempty"`

@@ -96,6 +96,31 @@ func RenderReport(manifests []*Manifest, samples [][]Sample) string {
 	}
 	writeAligned(&b, table)
 
+	// Histogram tables, one block per run that carries them (journey
+	// runs). Old manifests have none, so their reports are unchanged.
+	for _, m := range manifests {
+		if len(m.Histograms) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\nhistograms (%s):\n", m.Tool)
+		keys := make([]string, 0, len(m.Histograms))
+		for k := range m.Histograms {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		htable := [][]string{{"histogram", "n", "mean", "p50", "p90", "p99", "max"}}
+		for _, k := range keys {
+			h := m.Histograms[k]
+			htable = append(htable, []string{
+				k, fmt.Sprintf("%d", h.Count),
+				fmt.Sprintf("%.4g", h.Mean), fmt.Sprintf("%.4g", h.P50),
+				fmt.Sprintf("%.4g", h.P90), fmt.Sprintf("%.4g", h.P99),
+				fmt.Sprintf("%.4g", h.Max),
+			})
+		}
+		writeAligned(&b, htable)
+	}
+
 	// Probe-series summaries, one block per run that has samples.
 	for i, smp := range samples {
 		if len(smp) == 0 {

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTimelineWriteJSONStructure(t *testing.T) {
+	tl := NewTimeline()
+	tl.ProcessName(1, "hop:lr")
+	tl.ProcessName(1, "ignored duplicate")
+	tl.ThreadName(1, 3, "flow 3")
+	tl.ThreadName(1, 3, "ignored duplicate")
+	tl.Span("packet", "data 0", 1, 3, 1000, 250, map[string]any{"queue_us": 50.0})
+	tl.Instant("drop", "data 1", 1, 3, 2000, nil)
+	if tl.Len() != 4 {
+		t.Fatalf("Len %d, want 4 (2 meta + 2 events)", tl.Len())
+	}
+
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateTimeline(buf.Bytes())
+	if err != nil {
+		t.Fatalf("own output does not validate: %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("validated %d events, want 4", n)
+	}
+
+	var doc struct {
+		TraceEvents     []TraceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit %q", doc.DisplayTimeUnit)
+	}
+	// Metadata first, then events in append order.
+	if doc.TraceEvents[0].Ph != "M" || doc.TraceEvents[1].Ph != "M" {
+		t.Fatalf("metadata not first: %+v", doc.TraceEvents[:2])
+	}
+	span := doc.TraceEvents[2]
+	if span.Ph != "X" || span.Ts != 1000 || span.Dur != 250 || span.Pid != 1 || span.Tid != 3 {
+		t.Fatalf("span %+v", span)
+	}
+	if span.Args["queue_us"] != 50.0 {
+		t.Fatalf("span args %v", span.Args)
+	}
+	inst := doc.TraceEvents[3]
+	if inst.Ph != "i" || inst.S != "t" {
+		t.Fatalf("instant %+v", inst)
+	}
+}
+
+func TestTimelineEmptyStillValid(t *testing.T) {
+	tl := NewTimeline()
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateTimeline(buf.Bytes())
+	if err != nil || n != 0 {
+		t.Fatalf("empty timeline: n=%d err=%v", n, err)
+	}
+}
+
+func TestValidateTimelineRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":       "{",
+		"no traceEvents": `{"other":[]}`,
+		"empty name":     `{"traceEvents":[{"name":"","ph":"X","ts":0,"dur":1,"pid":1,"tid":1}]}`,
+		"unknown phase":  `{"traceEvents":[{"name":"x","ph":"Z","ts":0,"pid":1,"tid":1}]}`,
+		"negative ts":    `{"traceEvents":[{"name":"x","ph":"i","ts":-1,"pid":1,"tid":1}]}`,
+		"negative dur":   `{"traceEvents":[{"name":"x","ph":"X","ts":0,"dur":-2,"pid":1,"tid":1}]}`,
+	}
+	for label, blob := range cases {
+		if _, err := ValidateTimeline([]byte(blob)); err == nil {
+			t.Fatalf("%s: accepted", label)
+		}
+	}
+}
+
+func TestTimelineConcurrentAppend(t *testing.T) {
+	tl := NewTimeline()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tl.ProcessName(g, "worker")
+				tl.Span("cell", "run", g, i, float64(i), 1, nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := tl.Len(); got != 4+400 {
+		t.Fatalf("Len %d, want 404", got)
+	}
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateTimeline(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"displayTimeUnit":"ms"`) {
+		t.Fatal("missing displayTimeUnit")
+	}
+}

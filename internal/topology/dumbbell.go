@@ -13,6 +13,7 @@ import (
 	"slowcc/internal/invariant"
 	"slowcc/internal/netem"
 	"slowcc/internal/obs"
+	"slowcc/internal/obs/journey"
 	"slowcc/internal/sim"
 )
 
@@ -160,9 +161,10 @@ type Dumbbell struct {
 	// mode (Config.Strict) turns into a panic instead.
 	UnknownFlowDrops int64
 
-	lrEntry netem.Handler         // LR, or Filter when configured
-	demuxR  map[int]netem.Handler // flow -> right-side egress (after LR)
-	demuxL  map[int]netem.Handler // flow -> left-side egress (after RL)
+	lrEntry  netem.Handler         // LR, or Filter when configured
+	demuxR   map[int]netem.Handler // flow -> right-side egress (after LR)
+	demuxL   map[int]netem.Handler // flow -> left-side egress (after RL)
+	journeys *journey.Recorder     // nil unless ObserveJourneys was called
 }
 
 // demux routes packets leaving a bottleneck to the registered per-flow
@@ -301,18 +303,33 @@ func (d *Dumbbell) ObserveProbes(s *obs.Sampler) {
 	}
 }
 
+// ObserveJourneys attaches a journey recorder to every link of the
+// dumbbell: both bottlenecks immediately, and each flow's access links
+// as the flows wire (so it must be called before paths are built to
+// observe them). Access links delivering into endpoints are marked
+// egress, closing end-to-end attribution there. A nil recorder attaches
+// nothing, leaving the wired-but-disabled one-pointer-check path.
+func (d *Dumbbell) ObserveJourneys(r *journey.Recorder) {
+	d.journeys = r
+	if r == nil {
+		return
+	}
+	r.AttachLink("lr", d.LR, false)
+	r.AttachLink("rl", d.RL, false)
+}
+
 // PathLR wires a left-to-right path for flow: packets offered to the
 // returned ingress traverse a fresh access link, the forward bottleneck,
 // and a second access link before reaching dst. Registering the same
 // flow twice panics.
 func (d *Dumbbell) PathLR(flow int, dst netem.Handler) netem.Handler {
-	return d.path(flow, dst, d.lrEntry, d.demuxR, d.Cfg.AccessDelay)
+	return d.path(flow, dst, d.lrEntry, d.demuxR, d.Cfg.AccessDelay, "lr")
 }
 
 // PathRL wires a right-to-left path for flow (the return direction used
 // by ACKs of forward flows, or the data direction of reverse flows).
 func (d *Dumbbell) PathRL(flow int, dst netem.Handler) netem.Handler {
-	return d.path(flow, dst, d.RL, d.demuxL, d.Cfg.AccessDelay)
+	return d.path(flow, dst, d.RL, d.demuxL, d.Cfg.AccessDelay, "rl")
 }
 
 // PathLRDelay is PathLR with a per-flow access-link delay, used to give
@@ -320,15 +337,15 @@ func (d *Dumbbell) PathRL(flow int, dst netem.Handler) netem.Handler {
 // flow's propagation RTT becomes 2*(2*accessDelay + bottleneck delay)
 // when PathRLDelay uses the same value.
 func (d *Dumbbell) PathLRDelay(flow int, dst netem.Handler, accessDelay sim.Time) netem.Handler {
-	return d.path(flow, dst, d.lrEntry, d.demuxR, accessDelay)
+	return d.path(flow, dst, d.lrEntry, d.demuxR, accessDelay, "lr")
 }
 
 // PathRLDelay is PathRL with a per-flow access-link delay.
 func (d *Dumbbell) PathRLDelay(flow int, dst netem.Handler, accessDelay sim.Time) netem.Handler {
-	return d.path(flow, dst, d.RL, d.demuxL, accessDelay)
+	return d.path(flow, dst, d.RL, d.demuxL, accessDelay, "rl")
 }
 
-func (d *Dumbbell) path(flow int, dst netem.Handler, bottleneck netem.Handler, table map[int]netem.Handler, accessDelay sim.Time) netem.Handler {
+func (d *Dumbbell) path(flow int, dst netem.Handler, bottleneck netem.Handler, table map[int]netem.Handler, accessDelay sim.Time, dir string) netem.Handler {
 	if _, dup := table[flow]; dup {
 		panic(fmt.Sprintf("topology: flow %d already registered on this direction", flow))
 	}
@@ -344,6 +361,10 @@ func (d *Dumbbell) path(flow int, dst netem.Handler, bottleneck netem.Handler, t
 	if d.Cfg.Audit != nil {
 		d.Cfg.Audit.WatchLink(fmt.Sprintf("access-%d-out", flow), out)
 		d.Cfg.Audit.WatchLink(fmt.Sprintf("access-%d-in", flow), in)
+	}
+	if d.journeys != nil {
+		d.journeys.AttachLink(fmt.Sprintf("access-%d-%s-in", flow, dir), in, false)
+		d.journeys.AttachLink(fmt.Sprintf("access-%d-%s-out", flow, dir), out, true)
 	}
 	return in
 }

@@ -7,6 +7,7 @@ import (
 	"slowcc/internal/invariant"
 	"slowcc/internal/netem"
 	"slowcc/internal/obs"
+	"slowcc/internal/obs/journey"
 	"slowcc/internal/sim"
 )
 
@@ -187,6 +188,7 @@ type Net struct {
 	revRt    []demux         // router at node i, fed by Rev[i]
 	fwdFlows map[int]bool    // per-direction flow id registries
 	revFlows map[int]bool
+	journeys *journey.Recorder // nil unless ObserveJourneys was called
 }
 
 // NewNet builds a parking-lot chain on eng.
@@ -284,6 +286,10 @@ func (n *Net) PathFwd(flow, enter, exit int, dst netem.Handler, accessDelay sim.
 		n.Cfg.Audit.WatchLink(fmt.Sprintf("access-%d-fwd-in", flow), in)
 		n.Cfg.Audit.WatchLink(fmt.Sprintf("access-%d-fwd-out", flow), out)
 	}
+	if n.journeys != nil {
+		n.journeys.AttachLink(fmt.Sprintf("access-%d-fwd-in", flow), in, false)
+		n.journeys.AttachLink(fmt.Sprintf("access-%d-fwd-out", flow), out, true)
+	}
 	return in
 }
 
@@ -311,6 +317,10 @@ func (n *Net) PathRev(flow, enter, exit int, dst netem.Handler, accessDelay sim.
 	if n.Cfg.Audit != nil {
 		n.Cfg.Audit.WatchLink(fmt.Sprintf("access-%d-rev-in", flow), in)
 		n.Cfg.Audit.WatchLink(fmt.Sprintf("access-%d-rev-out", flow), out)
+	}
+	if n.journeys != nil {
+		n.journeys.AttachLink(fmt.Sprintf("access-%d-rev-in", flow), in, false)
+		n.journeys.AttachLink(fmt.Sprintf("access-%d-rev-out", flow), out, true)
 	}
 	return in
 }
@@ -362,6 +372,22 @@ func (n *Net) Observe(reg *obs.Registry) {
 	}
 	reg.AddPool(n.Pool)
 	reg.Register("topo.unknown_flow_drops", func() int64 { return n.UnknownFlowDrops })
+}
+
+// ObserveJourneys attaches a journey recorder to every link of the
+// chain: both directions of every hop immediately, and each flow's
+// access links as paths wire (call it before building paths). Hop
+// names match the counter registry's (fwd0, rev0, ...); egress access
+// links close end-to-end attribution. A nil recorder attaches nothing.
+func (n *Net) ObserveJourneys(r *journey.Recorder) {
+	n.journeys = r
+	if r == nil {
+		return
+	}
+	for i := range n.Fwd {
+		r.AttachLink(fmt.Sprintf("fwd%d", i), n.Fwd[i], false)
+		r.AttachLink(fmt.Sprintf("rev%d", i), n.Rev[i], false)
+	}
 }
 
 // ObserveProbes registers every hop's RED queues with the sampler

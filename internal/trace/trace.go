@@ -52,6 +52,11 @@ type Event struct {
 	Kind int // netem.Data, netem.Ack, netem.Feedback
 	Seq  int64
 	Size int
+	// Hop identifies the link the event was observed at (empty for
+	// endpoint events and taps registered without a hop name). Multi-hop
+	// chains record otherwise-indistinguishable per-link events; the hop
+	// tag is what tells them apart.
+	Hop string
 }
 
 // Recorder accumulates events. The zero value records without bound;
@@ -100,8 +105,14 @@ func (r *Recorder) Events() []Event {
 }
 
 // LinkTap returns a netem.Tap recording queue accept/drop (and ECN
-// mark) events at a link.
-func (r *Recorder) LinkTap() netem.Tap {
+// mark) events at a link, with no hop identity (single-bottleneck
+// runs, where the link is unambiguous).
+func (r *Recorder) LinkTap() netem.Tap { return r.HopTap("") }
+
+// HopTap returns a netem.Tap like LinkTap that stamps every event with
+// the given hop name, so taps on several links of a chain stay
+// distinguishable in the merged record.
+func (r *Recorder) HopTap(hop string) netem.Tap {
 	return func(p *netem.Packet, accepted bool, now sim.Time) {
 		op := Recv
 		if !accepted {
@@ -109,7 +120,7 @@ func (r *Recorder) LinkTap() netem.Tap {
 		} else if p.CE {
 			op = Mark
 		}
-		r.Record(Event{T: now, Op: op, Flow: p.Flow, Kind: p.Kind, Seq: p.Seq, Size: p.Size})
+		r.Record(Event{T: now, Op: op, Flow: p.Flow, Kind: p.Kind, Seq: p.Seq, Size: p.Size, Hop: hop})
 	}
 }
 
@@ -123,19 +134,127 @@ func (r *Recorder) WrapHandler(op Op, now func() sim.Time, next netem.Handler) n
 }
 
 // WriteTSV writes the retained events as tab-separated values with a
-// header row.
+// header row. The trailing hop column is empty for events recorded
+// without a hop identity.
 func (r *Recorder) WriteTSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, "t\top\tflow\tkind\tseq\tsize"); err != nil {
+	if _, err := fmt.Fprintln(bw, "t\top\tflow\tkind\tseq\tsize\thop"); err != nil {
 		return err
 	}
 	for _, ev := range r.Events() {
-		if _, err := fmt.Fprintf(bw, "%.6f\t%s\t%d\t%d\t%d\t%d\n",
-			ev.T, ev.Op, ev.Flow, ev.Kind, ev.Seq, ev.Size); err != nil {
+		if _, err := fmt.Fprintf(bw, "%.6f\t%s\t%d\t%d\t%d\t%d\t%s\n",
+			ev.T, ev.Op, ev.Flow, ev.Kind, ev.Seq, ev.Size, ev.Hop); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// parseOp inverts Op.String.
+func parseOp(s string) (Op, error) {
+	switch s {
+	case "send":
+		return Send, nil
+	case "recv":
+		return Recv, nil
+	case "drop":
+		return Drop, nil
+	case "mark":
+		return Mark, nil
+	}
+	return 0, fmt.Errorf("trace: unknown op %q", s)
+}
+
+// ReadTSV parses the format WriteTSV emits (header required). Files
+// written before the hop column existed (six columns) parse with empty
+// hops, so archived traces stay readable.
+func ReadTSV(rd io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("trace: empty TSV")
+	}
+	header := sc.Text()
+	hasHop := header == "t\top\tflow\tkind\tseq\tsize\thop"
+	if !hasHop && header != "t\top\tflow\tkind\tseq\tsize" {
+		return nil, fmt.Errorf("trace: unrecognized TSV header %q", header)
+	}
+	var out []Event
+	line := 1
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		var ev Event
+		var err error
+		if hasHop {
+			// The hop column may legitimately be empty; Sscanf cannot
+			// express that, so split by hand.
+			ev, err = parseEventFields(text)
+		} else {
+			var opStr string
+			if _, err = fmt.Sscanf(text, "%g\t%s\t%d\t%d\t%d\t%d",
+				&ev.T, &opStr, &ev.Flow, &ev.Kind, &ev.Seq, &ev.Size); err == nil {
+				ev.Op, err = parseOp(opStr)
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+		}
+		out = append(out, ev)
+	}
+	return out, sc.Err()
+}
+
+// parseEventFields parses one seven-column event row.
+func parseEventFields(text string) (Event, error) {
+	var ev Event
+	fields := splitTabs(text, 7)
+	if len(fields) != 7 {
+		return ev, fmt.Errorf("want 7 columns, got %d", len(fields))
+	}
+	if _, err := fmt.Sscanf(fields[0], "%g", &ev.T); err != nil {
+		return ev, fmt.Errorf("t: %v", err)
+	}
+	op, err := parseOp(fields[1])
+	if err != nil {
+		return ev, err
+	}
+	ev.Op = op
+	if _, err := fmt.Sscanf(fields[2], "%d", &ev.Flow); err != nil {
+		return ev, fmt.Errorf("flow: %v", err)
+	}
+	if _, err := fmt.Sscanf(fields[3], "%d", &ev.Kind); err != nil {
+		return ev, fmt.Errorf("kind: %v", err)
+	}
+	if _, err := fmt.Sscanf(fields[4], "%d", &ev.Seq); err != nil {
+		return ev, fmt.Errorf("seq: %v", err)
+	}
+	if _, err := fmt.Sscanf(fields[5], "%d", &ev.Size); err != nil {
+		return ev, fmt.Errorf("size: %v", err)
+	}
+	ev.Hop = fields[6]
+	return ev, nil
+}
+
+// splitTabs splits text into at most n tab-separated fields without
+// dropping trailing empties (unlike strings.Split it is bounded, which
+// keeps a malformed row from ballooning).
+func splitTabs(text string, n int) []string {
+	out := make([]string, 0, n)
+	start := 0
+	for i := 0; i < len(text) && len(out) < n-1; i++ {
+		if text[i] == '\t' {
+			out = append(out, text[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, text[start:])
 }
 
 // Filter returns the retained events matching flow (or any flow when

@@ -133,20 +133,94 @@ func TestLinkTapRecordsDropsAndMarks(t *testing.T) {
 func TestWriteTSV(t *testing.T) {
 	var r Recorder
 	r.Record(Event{T: 1.5, Op: Send, Flow: 3, Kind: netem.Data, Seq: 42, Size: 1000})
+	r.Record(Event{T: 1.6, Op: Recv, Flow: 3, Kind: netem.Data, Seq: 42, Size: 1000, Hop: "fwd1"})
 	var buf bytes.Buffer
 	if err := r.WriteTSV(&buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
 	lines := strings.Split(strings.TrimSpace(out), "\n")
-	if len(lines) != 2 {
+	if len(lines) != 3 {
 		t.Fatalf("TSV lines: %d", len(lines))
 	}
-	if lines[0] != "t\top\tflow\tkind\tseq\tsize" {
+	if lines[0] != "t\top\tflow\tkind\tseq\tsize\thop" {
 		t.Fatalf("header %q", lines[0])
 	}
-	if lines[1] != "1.500000\tsend\t3\t0\t42\t1000" {
+	if lines[1] != "1.500000\tsend\t3\t0\t42\t1000\t" {
 		t.Fatalf("row %q", lines[1])
+	}
+	if lines[2] != "1.600000\trecv\t3\t0\t42\t1000\tfwd1" {
+		t.Fatalf("row %q", lines[2])
+	}
+}
+
+func TestHopTapStampsHopIdentity(t *testing.T) {
+	var r Recorder
+	tap0 := r.HopTap("fwd0")
+	tap1 := r.HopTap("fwd1")
+	tap0(&netem.Packet{Flow: 1, Seq: 7, Size: 1000}, true, 0.1)
+	tap1(&netem.Packet{Flow: 1, Seq: 7, Size: 1000}, false, 0.2)
+	evs := r.Events()
+	if evs[0].Hop != "fwd0" || evs[1].Hop != "fwd1" {
+		t.Fatalf("hops %q %q, want fwd0/fwd1", evs[0].Hop, evs[1].Hop)
+	}
+	// Without the hop tag these two events would only differ in time/op:
+	// the tag is what attributes them to distinct links.
+	if evs[0].Op != Recv || evs[1].Op != Drop {
+		t.Fatalf("ops %v %v", evs[0].Op, evs[1].Op)
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	var r Recorder
+	r.Record(Event{T: 0.25, Op: Send, Flow: 1, Kind: netem.Data, Seq: 0, Size: 1000})
+	r.Record(Event{T: 0.5, Op: Recv, Flow: 1, Kind: netem.Data, Seq: 0, Size: 1000, Hop: "lr"})
+	r.Record(Event{T: 0.75, Op: Drop, Flow: 2, Kind: netem.Ack, Seq: 9, Size: 40, Hop: "access-2-rl-out"})
+	r.Record(Event{T: 1.0, Op: Mark, Flow: 1, Kind: netem.Data, Seq: 3, Size: 1000, Hop: "lr"})
+	var buf bytes.Buffer
+	if err := r.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r.Events()
+	if len(got) != len(want) {
+		t.Fatalf("round trip: %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadTSVLegacySixColumns(t *testing.T) {
+	legacy := "t\top\tflow\tkind\tseq\tsize\n1.500000\tsend\t3\t0\t42\t1000\n"
+	evs, err := ReadTSV(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 {
+		t.Fatalf("events: %d", len(evs))
+	}
+	want := Event{T: 1.5, Op: Send, Flow: 3, Kind: netem.Data, Seq: 42, Size: 1000}
+	if evs[0] != want {
+		t.Fatalf("got %+v, want %+v", evs[0], want)
+	}
+}
+
+func TestReadTSVRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"not\ta\theader\n",
+		"t\top\tflow\tkind\tseq\tsize\thop\n1.0\tteleport\t1\t0\t0\t1000\t\n",
+		"t\top\tflow\tkind\tseq\tsize\thop\n1.0\tsend\t1\t0\n",
+	} {
+		if _, err := ReadTSV(strings.NewReader(in)); err == nil {
+			t.Fatalf("ReadTSV(%q) accepted garbage", in)
+		}
 	}
 }
 

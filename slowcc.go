@@ -42,6 +42,7 @@ import (
 	"slowcc/internal/metrics"
 	"slowcc/internal/netem"
 	"slowcc/internal/obs"
+	"slowcc/internal/obs/journey"
 	"slowcc/internal/obs/probe"
 	"slowcc/internal/sim"
 	"slowcc/internal/topology"
@@ -315,3 +316,80 @@ type TraceRun = exp.TraceRun
 
 // NewTraceRun wires a traced scenario without running it.
 func NewTraceRun(cfg TraceRunConfig) *TraceRun { return exp.NewTraceRun(cfg) }
+
+// Latency attribution and timeline export (internal/obs/journey and
+// internal/obs; see DESIGN.md §12): per-hop packet journeys, HDR-style
+// histograms, and Chrome trace-event JSON (Perfetto-loadable)
+// timelines.
+
+// JourneyRecorder captures per-packet, per-hop spans (enqueue, head of
+// line, transmission, delivery or drop) and attributes every delivered
+// packet's end-to-end delay into queueing, transmission, and
+// propagation, exactly. Attach one with Dumbbell.ObserveJourneys or
+// Net.ObserveJourneys before wiring flows; a nil recorder attaches
+// nothing and leaves the run event-for-event identical.
+type JourneyRecorder = journey.Recorder
+
+// NewJourneyRecorder returns an empty journey recorder.
+func NewJourneyRecorder() *JourneyRecorder { return journey.New() }
+
+// JourneySpan is one packet's residency at one hop.
+type JourneySpan = journey.Span
+
+// JourneyHop summarizes one hop's deliveries, drops, and delay
+// components.
+type JourneyHop = journey.HopSummary
+
+// Histogram is a log-bucketed HDR-style histogram: fixed memory,
+// zero-allocation Record, mergeable, with quantiles bounded by bucket
+// resolution (12.5%) and exact count/sum/max. The zero value is ready
+// to use.
+type Histogram = obs.Histogram
+
+// HistogramSummary is a rendered histogram snapshot (count, mean, p50,
+// p90, p99, max), the form manifests carry.
+type HistogramSummary = obs.HistSummary
+
+// Timeline accumulates Chrome trace-event JSON spans from journey
+// recorders (sim time) and sweep supervision (wall time); load the
+// written file in Perfetto or chrome://tracing.
+type Timeline = obs.Timeline
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline { return obs.NewTimeline() }
+
+// ValidateTimeline checks a trace-event JSON document and returns its
+// event count.
+func ValidateTimeline(blob []byte) (int, error) { return obs.ValidateTimeline(blob) }
+
+// ReadTimelineFile validates a timeline JSON file and returns its
+// event count.
+func ReadTimelineFile(path string) (int, error) { return obs.ReadTimelineFile(path) }
+
+// SetSweepTimeline installs a timeline that supervised sweeps (Matrix,
+// the figure drivers) emit per-cell telemetry spans into — queued,
+// running, retry, degraded — or nil to remove it. Returns the previous
+// timeline.
+func SetSweepTimeline(tl *Timeline) (prev *Timeline) { return exp.SetSweepTimeline(tl) }
+
+// ReadTraceTSV parses a packet trace written by Tracer.WriteTSV,
+// accepting both the current seven-column (with hop identity) and the
+// legacy six-column layout.
+func ReadTraceTSV(r io.Reader) ([]TraceEvent, error) { return trace.ReadTSV(r) }
+
+// ParseMatrixTSV parses a RenderMatrixTSV artifact back into cells.
+func ParseMatrixTSV(r io.Reader) ([]MatrixCell, error) { return exp.ParseMatrixTSV(r) }
+
+// RenderMatrixHeatmap renders matrix cells as per-topology ASCII
+// heatmaps of the chosen metric (see MatrixMetrics).
+func RenderMatrixHeatmap(cells []MatrixCell, metric string) (string, error) {
+	return exp.RenderMatrixHeatmap(cells, metric)
+}
+
+// RenderMatrixHeatmapSVG renders the same grids as a standalone SVG.
+func RenderMatrixHeatmapSVG(cells []MatrixCell, metric string) (string, error) {
+	return exp.RenderMatrixHeatmapSVG(cells, metric)
+}
+
+// MatrixMetrics lists the metrics heatmaps can shade.
+func MatrixMetrics() []string { return exp.MatrixMetrics() }
