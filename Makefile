@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke bench-json report-smoke fuzz-smoke matrix-smoke timeline-smoke
+.PHONY: ci vet build test race bench bench-smoke bench-json report-smoke fuzz-smoke matrix-smoke timeline-smoke queue-smoke
 
 # ci is the gate future PRs run: static checks, a full build, the
 # complete test suite under the race detector, and a single-iteration
@@ -10,7 +10,7 @@ GO ?= go
 # so packet-accounting regressions fail here even when no figure-level
 # assertion notices them; -race additionally exercises parallelMap's
 # worker pool.
-ci: vet build race bench-smoke report-smoke matrix-smoke timeline-smoke fuzz-smoke
+ci: vet build race bench-smoke queue-smoke report-smoke matrix-smoke timeline-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -89,9 +89,22 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParsePattern -fuzztime=3s ./internal/netem
 	$(GO) test -run='^$$' -fuzz=FuzzParseSpec -fuzztime=3s ./internal/faults
 
+# queue-smoke runs the calendar-vs-heap differential suite: the
+# randomized mixed-op oracle test in internal/sim plus the macro-stream
+# and faulted-parking-lot differentials at the public surface. Any
+# divergence between the default calendar queue and the heap fallback
+# fails here with the first diverging event named.
+queue-smoke:
+	$(GO) test -count=1 -run 'TestCalendarVsHeap' ./internal/sim .
+
 # bench-json measures the simulator core (engine, link, per-flow, and
 # the two-flow macro-benchmark), records the trajectory against the
 # pre-optimization baseline in BENCH_core.json, and fails if the
-# speedup/allocation gates regress.
+# speedup/allocation gates regress. Three interleaved runs per
+# benchmark: the minimum is recorded, the min/max spread is reported,
+# and a spread above 5% is flagged unstable. Refuses to run from a
+# dirty worktree (the record names the commit it measured); pass
+# -allow-dirty through `go run ./cmd/slowccbench` by hand for local
+# experiments.
 bench-json:
-	$(GO) run ./cmd/slowccbench -out BENCH_core.json
+	$(GO) run ./cmd/slowccbench -count 3 -out BENCH_core.json

@@ -290,6 +290,26 @@ func BenchmarkEnginePacketsPerSecond(b *testing.B) {
 	}
 }
 
+// BenchmarkEnginePacketsPerSecondCalendarOff is the same scenario as
+// BenchmarkEnginePacketsPerSecond on the 4-ary heap fallback
+// (HeapQueue) instead of the default calendar queue. It exists so the
+// cmd/slowccbench calendar gate can (a) prove the fallback knob still
+// works — the event count must match the calendar run exactly — and
+// (b) bound how far the fallback is allowed to trail the default, so a
+// regression that quietly pushes work onto the heap path is caught.
+func BenchmarkEnginePacketsPerSecondCalendarOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := slowcc.NewEngineWithQueue(int64(i+1), slowcc.HeapQueue)
+		d := slowcc.NewDumbbell(eng, slowcc.DumbbellConfig{Rate: 10e6, Seed: int64(i + 1)})
+		f1 := slowcc.TCP(0.5).Make(eng, d, 1)
+		f2 := slowcc.TCP(0.5).Make(eng, d, 2)
+		eng.At(0, f1.Sender.Start)
+		eng.At(0, f2.Sender.Start)
+		eng.RunUntil(30)
+		b.ReportMetric(float64(eng.Steps()), "events")
+	}
+}
+
 // BenchmarkEnginePacketsPerSecondObsOff is the same scenario as
 // BenchmarkEnginePacketsPerSecond with the full observability layer
 // wired but disabled: a counter registry registered over the topology,

@@ -1,0 +1,130 @@
+// Differential guarantee of the event-queue swap, checked at the public
+// surface: the calendar queue (the default) and the heap fallback must
+// produce identical runs — not just the same aggregates, but the same
+// event stream, packet for packet. Two scenarios pin it: the seed-1
+// macro run that every other determinism test anchors on, and a faulted
+// 3-hop parking lot where outages, corruption, duplication, and
+// reordering all land inside batched busy periods.
+//
+// These tests are the "queue smoke" the Makefile's ci target runs (see
+// the queue-smoke target); keep their names on the TestCalendarVsHeap
+// prefix so the -run pattern catches them.
+package slowcc_test
+
+import (
+	"testing"
+
+	"slowcc"
+)
+
+// queueMacroRun executes the slowccbench macro scenario (two standard
+// TCP flows, 10 Mbps, 30 s, seed 1) on an engine with the given queue
+// kind and returns the engine plus the bottleneck packet trace.
+func queueMacroRun(t *testing.T, kind slowcc.QueueKind) (*slowcc.Engine, []slowcc.TraceEvent) {
+	t.Helper()
+	eng := slowcc.NewEngineWithQueue(1, kind)
+	d := slowcc.NewDumbbell(eng, slowcc.DumbbellConfig{Rate: 10e6, Seed: 1})
+	rec := &slowcc.Tracer{}
+	d.LR.AddTap(rec.LinkTap())
+	f1 := slowcc.TCP(0.5).Make(eng, d, 1)
+	f2 := slowcc.TCP(0.5).Make(eng, d, 2)
+	eng.At(0, f1.Sender.Start)
+	eng.At(0, f2.Sender.Start)
+	eng.RunUntil(30)
+	return eng, rec.Events()
+}
+
+func TestCalendarVsHeapMacroStream(t *testing.T) {
+	const pinnedEvents = 403989
+
+	calEng, calEv := queueMacroRun(t, slowcc.CalendarQueue)
+	heapEng, heapEv := queueMacroRun(t, slowcc.HeapQueue)
+
+	if calEng.Steps() != pinnedEvents {
+		t.Fatalf("calendar run executed %d events, want the pinned %d", calEng.Steps(), pinnedEvents)
+	}
+	if heapEng.Steps() != pinnedEvents {
+		t.Fatalf("heap run executed %d events, want the pinned %d", heapEng.Steps(), pinnedEvents)
+	}
+	if len(calEv) != len(heapEv) {
+		t.Fatalf("trace lengths differ: calendar %d, heap %d", len(calEv), len(heapEv))
+	}
+	for i := range calEv {
+		if calEv[i] != heapEv[i] {
+			t.Fatalf("trace event %d differs: calendar %+v, heap %+v", i, calEv[i], heapEv[i])
+		}
+	}
+}
+
+// faultedChainRun builds a 3-hop parking-lot chain with a fault injector
+// on every hop — an outage window plus corruption, duplication, and
+// reordering probabilities high enough to land inside batched busy
+// periods — runs two TCP flows for 15 s, and returns everything a
+// differential comparison needs.
+func faultedChainRun(t *testing.T, kind slowcc.QueueKind) (*slowcc.Engine, *slowcc.Net, []*slowcc.FaultInjector, []slowcc.TraceEvent) {
+	t.Helper()
+	eng := slowcc.NewEngineWithQueue(1, kind)
+	hops := make([]slowcc.NetHop, 3)
+	var injs []*slowcc.FaultInjector
+	for i := range hops {
+		inj := slowcc.NewFaultInjector(eng, slowcc.FaultConfig{
+			Seed:         int64(100 + i),
+			Windows:      []slowcc.FaultWindow{{At: 4 + float64(i), Dur: 0.5}},
+			CorruptProb:  0.01,
+			DupProb:      0.01,
+			ReorderProb:  0.02,
+			ReorderDelay: 0.003,
+		})
+		hops[i] = slowcc.NetHop{Rate: 10e6, Fault: inj}
+		injs = append(injs, inj)
+	}
+	n := slowcc.NewNet(eng, slowcc.NetConfig{Hops: hops, Seed: 1})
+	rec := &slowcc.Tracer{}
+	n.Fwd[len(n.Fwd)-1].AddTap(rec.LinkTap())
+	f1 := slowcc.TCP(0.5).Make(eng, n, 1)
+	f2 := slowcc.TCP(0.5).Make(eng, n, 2)
+	eng.At(0, f1.Sender.Start)
+	eng.At(0, f2.Sender.Start)
+	eng.RunUntil(15)
+	return eng, n, injs, rec.Events()
+}
+
+func TestCalendarVsHeapFaultedParkingLot(t *testing.T) {
+	calEng, calNet, calInjs, calEv := faultedChainRun(t, slowcc.CalendarQueue)
+	heapEng, heapNet, heapInjs, heapEv := faultedChainRun(t, slowcc.HeapQueue)
+
+	if calEng.Steps() != heapEng.Steps() {
+		t.Fatalf("step counts diverge: calendar %d, heap %d", calEng.Steps(), heapEng.Steps())
+	}
+	for i := range calInjs {
+		if calInjs[i].Stats != heapInjs[i].Stats {
+			t.Fatalf("hop %d fault stats diverge: calendar %+v, heap %+v", i, calInjs[i].Stats, heapInjs[i].Stats)
+		}
+		if calInjs[i].Stats.Corrupted == 0 && calInjs[i].Stats.Reordered == 0 {
+			t.Fatalf("hop %d injector inflicted nothing; the differential is not exercising faults", i)
+		}
+	}
+	for i := range calNet.Fwd {
+		if calNet.Fwd[i].Stats != heapNet.Fwd[i].Stats {
+			t.Fatalf("hop %d forward link stats diverge: calendar %+v, heap %+v", i, calNet.Fwd[i].Stats, heapNet.Fwd[i].Stats)
+		}
+		if calNet.Rev[i].Stats != heapNet.Rev[i].Stats {
+			t.Fatalf("hop %d reverse link stats diverge: calendar %+v, heap %+v", i, calNet.Rev[i].Stats, heapNet.Rev[i].Stats)
+		}
+	}
+	if len(calEv) != len(heapEv) {
+		t.Fatalf("trace lengths differ: calendar %d, heap %d", len(calEv), len(heapEv))
+	}
+	for i := range calEv {
+		if calEv[i] != heapEv[i] {
+			t.Fatalf("trace event %d differs: calendar %+v, heap %+v", i, calEv[i], heapEv[i])
+		}
+	}
+	// The faulted run must actually have taken links down: three hops,
+	// one window each, two transitions per window.
+	for i := range calNet.Fwd {
+		if calNet.Fwd[i].Transitions != 2 {
+			t.Fatalf("hop %d saw %d transitions, want 2", i, calNet.Fwd[i].Transitions)
+		}
+	}
+}

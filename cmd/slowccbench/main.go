@@ -20,9 +20,26 @@
 // journey hooks wired but disabled via ObserveJourneys(nil)) variants
 // are held to the same paired gate.
 //
+// The calendar-queue fallback gate pairs the same scenario on the heap
+// queue (EnginePacketsPerSecondCalendarOff): the knob must still
+// produce the identical event count, allocate at most a handful more
+// ops than the calendar default, and trail it by a bounded factor — so
+// a regression that quietly pushes work onto the fallback path is
+// caught, and so is a fallback that rots.
+//
+// Because the record names the commit it measured, slowccbench refuses
+// to run from a dirty worktree: a measurement of uncommitted code
+// attributed to HEAD would poison the trajectory. -allow-dirty
+// overrides for local experiments (the commit is then marked -dirty).
+//
+// Each benchmark's ns/op min and max across the -count runs are
+// recorded as the spread; a spread above 5% is flagged unstable in the
+// report and on stderr, so a noisy measurement is visible instead of
+// silently laundered through the minimum.
+//
 // Usage:
 //
-//	slowccbench [-out BENCH_core.json] [-count 3] [-benchtime 1x]
+//	slowccbench [-out BENCH_core.json] [-count 3] [-benchtime 1x] [-allow-dirty]
 package main
 
 import (
@@ -33,6 +50,7 @@ import (
 	"os/exec"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -86,20 +104,36 @@ type record struct {
 	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
 }
 
+// spread is the ns/op range one benchmark covered across the -count
+// runs of a single invocation. Rel is (max-min)/min; above
+// unstableSpread the measurement is flagged so a noisy machine cannot
+// silently launder variance through the recorded minimum.
+type spread struct {
+	MinNs    float64 `json:"min_ns_op"`
+	MaxNs    float64 `json:"max_ns_op"`
+	Rel      float64 `json:"rel_spread"`
+	Unstable bool    `json:"unstable"`
+}
+
+const unstableSpread = 0.05
+
 type report struct {
-	Schema     string     `json:"schema"`
-	GoVersion  string     `json:"go_version"`
-	NumCPU     int        `json:"num_cpu"`
-	Settings   string     `json:"settings"`
-	Baseline   record     `json:"baseline"`
-	PR2        record     `json:"pr2_core"`
-	Current    record     `json:"current"`
-	Gates      gates      `json:"gates"`
-	Trajectory outcome    `json:"trajectory"`
-	Obs        obsOutcome `json:"obs_overhead"`
-	Faults     obsOutcome `json:"faults_overhead"`
-	Topo       obsOutcome `json:"topology_overhead"`
-	Journey    obsOutcome `json:"journey_overhead"`
+	Schema     string            `json:"schema"`
+	GoVersion  string            `json:"go_version"`
+	NumCPU     int               `json:"num_cpu"`
+	Settings   string            `json:"settings"`
+	Baseline   record            `json:"baseline"`
+	PR2        record            `json:"pr2_core"`
+	Current    record            `json:"current"`
+	Spread     map[string]spread `json:"ns_spread"`
+	Unstable   []string          `json:"unstable,omitempty"`
+	Gates      gates             `json:"gates"`
+	Trajectory outcome           `json:"trajectory"`
+	Obs        obsOutcome        `json:"obs_overhead"`
+	Faults     obsOutcome        `json:"faults_overhead"`
+	Topo       obsOutcome        `json:"topology_overhead"`
+	Journey    obsOutcome        `json:"journey_overhead"`
+	Calendar   obsOutcome        `json:"calendar_fallback"`
 }
 
 type gates struct {
@@ -110,6 +144,14 @@ type gates struct {
 	MaxObsSlowdown float64 `json:"max_obs_slowdown"`
 	// MaxObsExtraAllocs caps allocs/op added over the PR 2 record (0).
 	MaxObsExtraAllocs float64 `json:"max_obs_extra_allocs"`
+	// MaxFallbackSlowdown caps how far the heap-queue fallback
+	// (EnginePacketsPerSecondCalendarOff) may trail the calendar default
+	// in the same invocation. The fallback is expected to be slower —
+	// that is why it is the fallback — but it must stay a working knob.
+	MaxFallbackSlowdown float64 `json:"max_fallback_slowdown"`
+	// MaxFallbackExtraAllocs caps allocs/op the fallback may add over
+	// the PR 2 record.
+	MaxFallbackExtraAllocs float64 `json:"max_fallback_extra_allocs"`
 }
 
 type outcome struct {
@@ -120,10 +162,10 @@ type outcome struct {
 	Pass       bool    `json:"pass"`
 }
 
-// obsOutcome is the observability-overhead gate: the obs-wired-but-
-// disabled macro-benchmark against its plain twin from the same
-// invocation (time, immune to machine drift between commits) and
-// against the PR 2 allocation record (allocs, deterministic).
+// obsOutcome is a paired-overhead gate: a variant of the macro-benchmark
+// against its plain twin from the same invocation (time, immune to
+// machine drift between commits) and against the PR 2 allocation record
+// (allocs, deterministic).
 type obsOutcome struct {
 	Benchmark   string  `json:"benchmark"`
 	Slowdown    float64 `json:"slowdown_vs_plain"`
@@ -135,10 +177,11 @@ type obsOutcome struct {
 // suites lists the benchmarks per package. Each layer of the core has
 // its own entry so a regression names its layer.
 var suites = []struct{ pkg, pattern string }{
-	// The Obs variant runs in the same invocation as the plain macro-
-	// benchmark so the overhead comparison is paired: same machine,
-	// same load, interleaved by -count.
-	{".", "EnginePacketsPerSecond$|EnginePacketsPerSecondObsOff|EnginePacketsPerSecondFaultsOff|EnginePacketsPerSecondTopoOff|EnginePacketsPerSecondJourneyOff|TCPFlowSimSecond|TFRCFlowSimSecond"},
+	// The Obs/Faults/Topo/Journey/CalendarOff variants run in the same
+	// invocation as the plain macro-benchmark so the overhead
+	// comparisons are paired: same machine, same load, interleaved by
+	// -count.
+	{".", "EnginePacketsPerSecond$|EnginePacketsPerSecondObsOff|EnginePacketsPerSecondFaultsOff|EnginePacketsPerSecondTopoOff|EnginePacketsPerSecondJourneyOff|EnginePacketsPerSecondCalendarOff|TCPFlowSimSecond|TFRCFlowSimSecond"},
 	{"./internal/sim", "EngineEventTurnover"},
 	{"./internal/netem", "LinkForward"},
 }
@@ -149,49 +192,71 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.+)$`)
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_core.json", "output JSON file")
-		count     = flag.Int("count", 3, "runs per benchmark (minimum is recorded)")
-		benchtime = flag.String("benchtime", "1x", "go test -benchtime value")
+		out        = flag.String("out", "BENCH_core.json", "output JSON file")
+		count      = flag.Int("count", 3, "runs per benchmark (minimum is recorded; min/max spread is reported)")
+		benchtime  = flag.String("benchtime", "1x", "go test -benchtime value")
+		allowDirty = flag.Bool("allow-dirty", false, "measure a dirty worktree anyway (commit is marked -dirty)")
 	)
 	flag.Parse()
 
-	cur := record{Commit: gitHead(), Benchmarks: map[string]map[string]float64{}}
+	head, dirty := gitHead()
+	if err := guardDirty(dirty, *allowDirty); err != nil {
+		fmt.Fprintf(os.Stderr, "slowccbench: %v\n", err)
+		os.Exit(1)
+	}
+	if dirty {
+		head += "-dirty"
+	}
+
+	cur := record{Commit: head, Benchmarks: map[string]map[string]float64{}}
+	nsRuns := map[string][]float64{}
 	for _, s := range suites {
 		fmt.Fprintf(os.Stderr, "bench %s (%s)\n", s.pkg, s.pattern)
-		if err := runSuite(s.pkg, s.pattern, *benchtime, *count, cur.Benchmarks); err != nil {
+		if err := runSuite(s.pkg, s.pattern, *benchtime, *count, cur.Benchmarks, nsRuns); err != nil {
 			fmt.Fprintf(os.Stderr, "slowccbench: %v\n", err)
 			os.Exit(1)
 		}
 	}
+	spreads, unstable := spreadOf(nsRuns)
 
-	g := gates{MinSpeedup: 1.5, MinAllocsDrop: 0.60, MaxObsSlowdown: 1.02, MaxObsExtraAllocs: 0}
+	g := gates{
+		MinSpeedup: 4.0, MinAllocsDrop: 0.60,
+		MaxObsSlowdown: 1.02, MaxObsExtraAllocs: 0,
+		MaxFallbackSlowdown: 3.0, MaxFallbackExtraAllocs: 16,
+	}
 	rep := report{
-		Schema:    "slowcc-bench-core/2",
+		Schema:    "slowcc-bench-core/3",
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
-		Settings:  fmt.Sprintf("-benchtime=%s -benchmem -count=%d (min recorded), seed 1", *benchtime, *count),
+		Settings:  fmt.Sprintf("-benchtime=%s -benchmem -count=%d (min recorded, min/max spread reported), seed 1", *benchtime, *count),
 		Baseline:  baseline,
 		PR2:       pr2,
 		Current:   cur,
+		Spread:    spreads,
+		Unstable:  unstable,
 		Gates:     g,
 		Trajectory: trajectory(baseline.Benchmarks["EnginePacketsPerSecond"],
 			cur.Benchmarks["EnginePacketsPerSecond"], g),
-		Obs: obsOverhead("EnginePacketsPerSecondObsOff",
+		Obs: pairedOverhead("EnginePacketsPerSecondObsOff",
 			cur.Benchmarks["EnginePacketsPerSecond"],
 			cur.Benchmarks["EnginePacketsPerSecondObsOff"],
-			pr2.Benchmarks["EnginePacketsPerSecond"], g),
-		Faults: obsOverhead("EnginePacketsPerSecondFaultsOff",
+			pr2.Benchmarks["EnginePacketsPerSecond"], g.MaxObsSlowdown, g.MaxObsExtraAllocs),
+		Faults: pairedOverhead("EnginePacketsPerSecondFaultsOff",
 			cur.Benchmarks["EnginePacketsPerSecond"],
 			cur.Benchmarks["EnginePacketsPerSecondFaultsOff"],
-			pr2.Benchmarks["EnginePacketsPerSecond"], g),
-		Topo: obsOverhead("EnginePacketsPerSecondTopoOff",
+			pr2.Benchmarks["EnginePacketsPerSecond"], g.MaxObsSlowdown, g.MaxObsExtraAllocs),
+		Topo: pairedOverhead("EnginePacketsPerSecondTopoOff",
 			cur.Benchmarks["EnginePacketsPerSecond"],
 			cur.Benchmarks["EnginePacketsPerSecondTopoOff"],
-			pr2.Benchmarks["EnginePacketsPerSecond"], g),
-		Journey: obsOverhead("EnginePacketsPerSecondJourneyOff",
+			pr2.Benchmarks["EnginePacketsPerSecond"], g.MaxObsSlowdown, g.MaxObsExtraAllocs),
+		Journey: pairedOverhead("EnginePacketsPerSecondJourneyOff",
 			cur.Benchmarks["EnginePacketsPerSecond"],
 			cur.Benchmarks["EnginePacketsPerSecondJourneyOff"],
-			pr2.Benchmarks["EnginePacketsPerSecond"], g),
+			pr2.Benchmarks["EnginePacketsPerSecond"], g.MaxObsSlowdown, g.MaxObsExtraAllocs),
+		Calendar: pairedOverhead("EnginePacketsPerSecondCalendarOff",
+			cur.Benchmarks["EnginePacketsPerSecond"],
+			cur.Benchmarks["EnginePacketsPerSecondCalendarOff"],
+			pr2.Benchmarks["EnginePacketsPerSecond"], g.MaxFallbackSlowdown, g.MaxFallbackExtraAllocs),
 	}
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
@@ -207,30 +272,76 @@ func main() {
 	t := rep.Trajectory
 	fmt.Printf("%s: speedup %.2fx (gate %.1fx), allocs drop %.2f%% (gate %.0f%%), events identical: %v -> %s\n",
 		t.Benchmark, t.Speedup, g.MinSpeedup, t.AllocsDrop*100, g.MinAllocsDrop*100, t.EventsSame, *out)
-	for _, o := range []obsOutcome{rep.Obs, rep.Faults, rep.Topo, rep.Journey} {
-		fmt.Printf("%s: slowdown %.3fx vs plain (gate %.2fx), extra allocs %+.0f vs pr2 (gate %+.0f), events identical: %v\n",
-			o.Benchmark, o.Slowdown, g.MaxObsSlowdown, o.ExtraAllocs, g.MaxObsExtraAllocs, o.EventsSame)
+	for _, o := range []obsOutcome{rep.Obs, rep.Faults, rep.Topo, rep.Journey, rep.Calendar} {
+		fmt.Printf("%s: slowdown %.3fx vs plain, extra allocs %+.0f vs pr2, events identical: %v\n",
+			o.Benchmark, o.Slowdown, o.ExtraAllocs, o.EventsSame)
+	}
+	for _, name := range unstable {
+		s := spreads[name]
+		fmt.Fprintf(os.Stderr, "slowccbench: warning: %s ns/op spread %.1f%% across %d runs (>%.0f%%: unstable; recorded minimum %v)\n",
+			name, s.Rel*100, *count, unstableSpread*100, s.MinNs)
 	}
 	if !t.Pass {
 		fmt.Fprintln(os.Stderr, "slowccbench: optimization gates NOT met")
 		os.Exit(1)
 	}
-	if !rep.Obs.Pass {
-		fmt.Fprintln(os.Stderr, "slowccbench: observability overhead gates NOT met")
-		os.Exit(1)
+	for _, fail := range []struct {
+		o    obsOutcome
+		what string
+	}{
+		{rep.Obs, "observability overhead"},
+		{rep.Faults, "fault-injection overhead"},
+		{rep.Topo, "topology overhead"},
+		{rep.Journey, "journey overhead"},
+		{rep.Calendar, "calendar fallback"},
+	} {
+		if !fail.o.Pass {
+			fmt.Fprintf(os.Stderr, "slowccbench: %s gates NOT met\n", fail.what)
+			os.Exit(1)
+		}
 	}
-	if !rep.Faults.Pass {
-		fmt.Fprintln(os.Stderr, "slowccbench: fault-injection overhead gates NOT met")
-		os.Exit(1)
+}
+
+// guardDirty is the worktree guard: a dirty tree may not update the
+// record (its commit attribution would be a lie) unless the override is
+// explicit.
+func guardDirty(dirty, allowDirty bool) error {
+	if dirty && !allowDirty {
+		return fmt.Errorf("worktree is dirty; refusing to update the record from uncommitted code (commit first, or pass -allow-dirty to measure anyway)")
 	}
-	if !rep.Topo.Pass {
-		fmt.Fprintln(os.Stderr, "slowccbench: topology overhead gates NOT met")
-		os.Exit(1)
+	return nil
+}
+
+// spreadOf reduces per-run ns/op samples into min/max spreads and
+// returns the (sorted) names whose relative spread exceeds the
+// stability threshold.
+func spreadOf(nsRuns map[string][]float64) (map[string]spread, []string) {
+	spreads := map[string]spread{}
+	var unstable []string
+	for name, runs := range nsRuns {
+		if len(runs) == 0 {
+			continue
+		}
+		s := spread{MinNs: runs[0], MaxNs: runs[0]}
+		for _, v := range runs[1:] {
+			if v < s.MinNs {
+				s.MinNs = v
+			}
+			if v > s.MaxNs {
+				s.MaxNs = v
+			}
+		}
+		if s.MinNs > 0 {
+			s.Rel = (s.MaxNs - s.MinNs) / s.MinNs
+		}
+		s.Unstable = s.Rel > unstableSpread
+		spreads[name] = s
+		if s.Unstable {
+			unstable = append(unstable, name)
+		}
 	}
-	if !rep.Journey.Pass {
-		fmt.Fprintln(os.Stderr, "slowccbench: journey overhead gates NOT met")
-		os.Exit(1)
-	}
+	sort.Strings(unstable)
+	return spreads, unstable
 }
 
 func trajectory(base, cur map[string]float64, g gates) outcome {
@@ -245,28 +356,29 @@ func trajectory(base, cur map[string]float64, g gates) outcome {
 	return o
 }
 
-// obsOverhead compares the obs-wired-but-disabled macro-benchmark
-// (obsOff) against the plain variant from the same invocation and
-// against the PR 2 allocation record. Both variants must execute the
-// same event count — the obs layer is not allowed to change simulated
-// behavior — and that count must still equal the PR 2 record's.
-func obsOverhead(name string, plain, obsOff, pr2core map[string]float64, g gates) obsOutcome {
+// pairedOverhead compares a macro-benchmark variant against the plain
+// variant from the same invocation and against the PR 2 allocation
+// record. Both variants must execute the same event count — no variant
+// is allowed to change simulated behavior — and that count must still
+// equal the PR 2 record's.
+func pairedOverhead(name string, plain, variant, pr2core map[string]float64, maxSlowdown, maxExtraAllocs float64) obsOutcome {
 	o := obsOutcome{Benchmark: name}
-	if plain == nil || obsOff == nil || pr2core == nil || plain["ns/op"] == 0 {
+	if plain == nil || variant == nil || pr2core == nil || plain["ns/op"] == 0 {
 		return o
 	}
-	o.Slowdown = obsOff["ns/op"] / plain["ns/op"]
-	o.ExtraAllocs = obsOff["allocs/op"] - pr2core["allocs/op"]
-	o.EventsSame = obsOff["events"] == plain["events"] && obsOff["events"] == pr2core["events"]
-	o.Pass = o.Slowdown <= g.MaxObsSlowdown && o.ExtraAllocs <= g.MaxObsExtraAllocs && o.EventsSame
+	o.Slowdown = variant["ns/op"] / plain["ns/op"]
+	o.ExtraAllocs = variant["allocs/op"] - pr2core["allocs/op"]
+	o.EventsSame = variant["events"] == plain["events"] && variant["events"] == pr2core["events"]
+	o.Pass = o.Slowdown <= maxSlowdown && o.ExtraAllocs <= maxExtraAllocs && o.EventsSame
 	return o
 }
 
 // runSuite executes one `go test -bench` invocation and folds its rows
 // into dst, keeping per-metric minima across -count runs (except
 // throughput metrics, where the maximum is the stable figure, and event
-// counts, which must not vary at all).
-func runSuite(pkg, pattern, benchtime string, count int, dst map[string]map[string]float64) error {
+// counts, which must not vary at all). Every per-run ns/op sample is
+// appended to nsRuns for spread reporting.
+func runSuite(pkg, pattern, benchtime string, count int, dst map[string]map[string]float64, nsRuns map[string][]float64) error {
 	cmd := exec.Command("go", "test", "-run", "^$",
 		"-bench", pattern, "-benchtime", benchtime, "-benchmem",
 		"-count", strconv.Itoa(count), pkg)
@@ -286,6 +398,9 @@ func runSuite(pkg, pattern, benchtime string, count int, dst map[string]map[stri
 			continue
 		}
 		found = true
+		if ns, ok := metrics["ns/op"]; ok {
+			nsRuns[name] = append(nsRuns[name], ns)
+		}
 		fold(dst, name, metrics)
 	}
 	if !found {
@@ -331,14 +446,14 @@ func fold(dst map[string]map[string]float64, name string, metrics map[string]flo
 	}
 }
 
-func gitHead() string {
+// gitHead returns the short HEAD hash and whether the worktree has
+// uncommitted changes.
+func gitHead() (head string, dirty bool) {
 	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
 	if err != nil {
-		return "unknown"
+		return "unknown", false
 	}
-	head := strings.TrimSpace(string(out))
-	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(st) > 0 {
-		head += "-dirty"
-	}
-	return head
+	head = strings.TrimSpace(string(out))
+	st, err := exec.Command("git", "status", "--porcelain").Output()
+	return head, err == nil && len(st) > 0
 }

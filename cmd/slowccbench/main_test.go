@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The record attributes its measurement to a commit; a dirty worktree
+// must therefore refuse to measure unless the override is explicit.
+func TestGuardDirtyRefusesDirtyWorktree(t *testing.T) {
+	err := guardDirty(true, false)
+	if err == nil {
+		t.Fatal("dirty worktree without -allow-dirty did not refuse")
+	}
+	if !strings.Contains(err.Error(), "-allow-dirty") {
+		t.Fatalf("refusal %q does not name the -allow-dirty override", err)
+	}
+	if err := guardDirty(true, true); err != nil {
+		t.Fatalf("dirty worktree with -allow-dirty refused: %v", err)
+	}
+	if err := guardDirty(false, false); err != nil {
+		t.Fatalf("clean worktree refused: %v", err)
+	}
+}
+
+func TestSpreadOfFlagsUnstableRuns(t *testing.T) {
+	spreads, unstable := spreadOf(map[string][]float64{
+		"Steady": {100, 102, 101},
+		"Noisy":  {100, 140, 120},
+		"Single": {50},
+	})
+	if s := spreads["Steady"]; s.Unstable || s.MinNs != 100 || s.MaxNs != 102 {
+		t.Fatalf("steady spread misreported: %+v", s)
+	}
+	if s := spreads["Noisy"]; !s.Unstable || s.MinNs != 100 || s.MaxNs != 140 || s.Rel != 0.4 {
+		t.Fatalf("noisy spread misreported: %+v", s)
+	}
+	if s := spreads["Single"]; s.Unstable || s.Rel != 0 {
+		t.Fatalf("single-run spread misreported: %+v", s)
+	}
+	if len(unstable) != 1 || unstable[0] != "Noisy" {
+		t.Fatalf("unstable list %v, want [Noisy]", unstable)
+	}
+}
+
+// The fallback gate must hold the CalendarOff variant to its own caps,
+// not the 2% obs cap: the heap is allowed to trail the calendar, but
+// only by the bounded factor, only with identical events.
+func TestPairedOverheadFallbackCaps(t *testing.T) {
+	plain := map[string]float64{"ns/op": 100, "events": 403989, "allocs/op": 437}
+	pr2c := map[string]float64{"ns/op": 388, "events": 403989, "allocs/op": 438}
+
+	ok := map[string]float64{"ns/op": 180, "events": 403989, "allocs/op": 440}
+	if o := pairedOverhead("CalendarOff", plain, ok, pr2c, 3.0, 16); !o.Pass {
+		t.Fatalf("in-cap fallback failed the gate: %+v", o)
+	}
+	atCap := map[string]float64{"ns/op": 300, "events": 403989, "allocs/op": 440}
+	if o := pairedOverhead("CalendarOff", plain, atCap, pr2c, 3.0, 16); !o.Pass {
+		t.Fatalf("at-cap fallback failed the gate: %+v", o)
+	}
+	tooSlow := map[string]float64{"ns/op": 301, "events": 403989, "allocs/op": 440}
+	if o := pairedOverhead("CalendarOff", plain, tooSlow, pr2c, 3.0, 16); o.Pass {
+		t.Fatalf("over-cap fallback passed the gate: %+v", o)
+	}
+	wrongEvents := map[string]float64{"ns/op": 180, "events": 403988, "allocs/op": 440}
+	if o := pairedOverhead("CalendarOff", plain, wrongEvents, pr2c, 3.0, 16); o.Pass {
+		t.Fatalf("fallback with diverging events passed the gate: %+v", o)
+	}
+	allocHeavy := map[string]float64{"ns/op": 180, "events": 403989, "allocs/op": 460}
+	if o := pairedOverhead("CalendarOff", plain, allocHeavy, pr2c, 3.0, 16); o.Pass {
+		t.Fatalf("alloc-heavy fallback passed the gate: %+v", o)
+	}
+}

@@ -134,10 +134,19 @@ type Link struct {
 	Transitions int64
 
 	// finishFn and deliverFn are the per-packet timer callbacks, bound
-	// once here so the hot path schedules them through AfterFunc with the
-	// packet as the argument instead of allocating a closure per packet.
+	// once here so the hot path schedules them with the packet as the
+	// argument instead of allocating a closure per packet.
 	finishFn  func(any)
 	deliverFn func(any)
+	// txDone is the one persistent transmission-completion timer: during
+	// a busy period finishTx chains directly into the next completion by
+	// re-arming this timer in place (ResetAfterFunc), so back-to-back
+	// transmissions cost no free-list round trip and no pooled-timer
+	// zeroing per packet. It consumes exactly one sequence number per
+	// re-arm — the same as the AfterFunc it replaced — so the event
+	// stream is bit-identical; every per-packet capture point (journeys,
+	// taps, audits, stats) still fires per packet.
+	txDone *sim.Timer
 }
 
 // NewLink returns a link transmitting at rate bits/s with the given
@@ -279,7 +288,7 @@ func (l *Link) startTx() {
 	if l.Journey != nil {
 		l.Journey.ObserveJourney(l.JourneyHop, JTxStart, p, l.eng.Now())
 	}
-	l.eng.AfterFunc(l.TxTime(p.Size), l.finishFn, p)
+	l.txDone = l.eng.ResetAfterFunc(l.txDone, l.TxTime(p.Size), l.finishFn, p)
 }
 
 func (l *Link) finishTx(p *Packet) {

@@ -132,10 +132,11 @@ func (e *Engine) runBudgeted(horizon Time) bool {
 		return false
 	}
 	for {
-		if len(e.events) == 0 || e.events[0].at > horizon {
+		head := e.peekMin()
+		if head == nil || head.at > horizon {
 			return true
 		}
-		if bs.b.MaxSimTime > 0 && e.events[0].at > bs.b.MaxSimTime {
+		if bs.b.MaxSimTime > 0 && head.at > bs.b.MaxSimTime {
 			bs.halt(e, HaltSimTime)
 			return false
 		}

@@ -8,19 +8,21 @@
 // simulated seconds, far below the range where float64 granularity could
 // reorder events.
 //
-// The event queue is a hand-rolled, index-maintained 4-ary min-heap over
-// []*Timer rather than container/heap: no event is boxed through `any`,
-// sift operations move pointers in place, and the shallower tree halves
-// the comparison depth for the heap sizes the paper's scenarios produce
-// (thousands of pending timers during flash crowds). Fired handle-less
-// timers are recycled through a free list, so the steady-state packet
-// path schedules events without allocating.
+// Two queue implementations sit behind the same (at, seq) total order:
+// the default is a time-bucketed calendar queue (calqueue.go) with O(1)
+// amortized insert and pop for the tick-dominated schedules the paper's
+// scenarios produce; a hand-rolled, index-maintained 4-ary min-heap
+// remains as a fallback (HeapQueue) and as the differential-testing
+// oracle. Both recycle fired handle-less timers through a free list, so
+// the steady-state packet path schedules events without allocating.
 package sim
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
+	"sync"
 )
 
 // Time is a simulated timestamp or duration, in seconds.
@@ -28,24 +30,46 @@ type Time = float64
 
 // Timer is a handle to a scheduled event. The zero value is not meaningful;
 // timers are created by Engine.At and Engine.After (or reused through
-// Engine.ResetAt and Engine.ResetAfter).
+// Engine.ResetAt, Engine.ResetAfter, and their *Func variants).
+//
+// Field order is deliberate: the hot comparison key (at, seq) shares the
+// first cache line with the callback pair, the queue-membership links
+// follow, and the two int32 positions plus the flag bytes pack the tail
+// instead of padding three separate words.
 type Timer struct {
 	at  Time
 	seq uint64
-	// Exactly one of fn and fnA is set. The fnA/arg form exists so hot
-	// paths can schedule a pre-bound callback with a per-event argument
-	// and no closure allocation.
-	fn      func()
-	fnA     func(any)
-	arg     any
-	eng     *Engine
+	// fnA/arg is the only callback form the queue executes: hot paths
+	// schedule a pre-bound callback with a per-event argument and no
+	// closure allocation, and the handle API (At/After/ResetAt) boxes its
+	// func() through callFunc (funcs are pointer-shaped, so the boxing
+	// does not allocate either).
+	fnA func(any)
+	arg any
+	eng *Engine
+	// next/prev link the timer into its calendar-queue bucket (an
+	// intrusive doubly-linked list, so Stop unlinks in O(1) with no
+	// per-bucket storage). Unused in heap mode.
+	next, prev *Timer
+	// index is the position in the heap (heap mode) or the sorted
+	// overflow slice (calendar mode); for calendar bucket residents it is
+	// pinned to 0. It is -1 exactly when the timer is not queued, in both
+	// modes, so Pending stays one comparison.
+	index int32
+	// bkt is the calendar bucket index, bktOverflow for the sorted
+	// far-future overflow, bktNone when not queued. Unused in heap mode.
+	bkt     int32
 	stopped bool
 	pooled  bool // engine-owned (no external handle); recycle after firing
-	index   int  // position in the heap, -1 once fired or removed
 }
 
-// Stop cancels the timer and removes it from the engine's event heap, so
-// a cancelled timer costs no memory and no heap traversal. Stopping an
+// callFunc adapts the handle API's func() callbacks to the single fnA
+// execution path. A func value is pointer-shaped, so storing it in arg
+// does not allocate.
+func callFunc(a any) { a.(func())() }
+
+// Stop cancels the timer and removes it from the engine's event queue, so
+// a cancelled timer costs no memory and no queue traversal. Stopping an
 // already-fired or already-stopped timer is a no-op. Stop reports whether
 // the call prevented the event from firing.
 func (t *Timer) Stop() bool {
@@ -54,7 +78,7 @@ func (t *Timer) Stop() bool {
 	}
 	t.stopped = true
 	t.eng.stops++
-	t.eng.remove(t.index)
+	t.eng.removeTimer(t)
 	return true
 }
 
@@ -75,11 +99,11 @@ func (t *Timer) When() Time { return t.at }
 // simulation goroutine; implementations must not mutate the engine.
 type AuditHook interface {
 	// OnSchedule is called for every accepted At/After with the validated
-	// timestamp, before the event enters the heap.
+	// timestamp, before the event enters the queue.
 	OnSchedule(now, at Time)
 	// OnEvent is called immediately before an event executes. prev is the
 	// clock value before this event advanced it; at and seq identify the
-	// event popped from the heap.
+	// event popped from the queue.
 	OnEvent(prev, at Time, seq uint64)
 }
 
@@ -101,12 +125,47 @@ type ProbeHook interface {
 	OnEvent(prev, at Time, seq uint64) Time
 }
 
+// QueueKind selects the event-queue implementation backing an Engine.
+// Both kinds implement the identical (at, seq) total order — the
+// differential tests in calqueue_test.go and the macro stream pins assert
+// pop-order equality — so the choice affects performance only.
+type QueueKind uint8
+
+const (
+	// CalendarQueue is the default: time-bucketed, O(1) amortized
+	// insert/pop for tick-dominated schedules, sorted overflow for
+	// far-future events.
+	CalendarQueue QueueKind = iota
+	// HeapQueue is the 4-ary min-heap fallback and differential oracle.
+	HeapQueue
+)
+
+// defaultQueue resolves the process-wide default queue kind once:
+// calendar unless SLOWCC_EVENTQ=heap asks for the fallback.
+var defaultQueue = sync.OnceValue(func() QueueKind {
+	if os.Getenv("SLOWCC_EVENTQ") == "heap" {
+		return HeapQueue
+	}
+	return CalendarQueue
+})
+
+// DefaultQueue returns the queue kind New uses: CalendarQueue, unless the
+// SLOWCC_EVENTQ=heap environment knob selects the heap fallback for the
+// whole process (the CalendarOff benchmarks and differential smoke use
+// explicit constructors instead).
+func DefaultQueue() QueueKind { return defaultQueue() }
+
 // Engine is a discrete-event scheduler. Create one with New; the zero
 // value is not usable because it lacks an RNG.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events []*Timer // 4-ary min-heap ordered by (at, seq)
+	now Time
+	seq uint64
+	// Exactly one of cq and events backs the queue: cq when the engine
+	// was built with CalendarQueue (the default), the 4-ary min-heap
+	// slice otherwise. Hot paths branch on cq != nil rather than going
+	// through an interface so the common case stays devirtualized.
+	cq     *calQueue
+	events []*Timer // 4-ary min-heap ordered by (at, seq); heap mode only
 	free   []*Timer // recycled timers with no external references
 	rng    *rand.Rand
 	nsteps uint64
@@ -132,9 +191,34 @@ type Engine struct {
 
 // New returns an engine whose clock starts at zero and whose random
 // number generator is seeded with seed. Two engines constructed with the
-// same seed and fed the same schedule produce identical runs.
+// same seed and fed the same schedule produce identical runs — including
+// across queue kinds (see NewWithQueue).
 func New(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed)), probeAt: math.Inf(1)}
+	return NewWithQueue(seed, DefaultQueue())
+}
+
+// NewWithQueue is New with an explicit event-queue implementation. The
+// event order is identical for both kinds; HeapQueue exists as the
+// fallback knob and the oracle for differential tests.
+func NewWithQueue(seed int64, kind QueueKind) *Engine {
+	e := &Engine{rng: rand.New(rand.NewSource(seed)), probeAt: math.Inf(1)}
+	if kind == CalendarQueue {
+		e.cq = newCalQueue(calDefaultWidth)
+	}
+	return e
+}
+
+// HintTick sizes the calendar queue's buckets to the dominant event
+// cadence dt (per-packet transmission time at the bottleneck, for the
+// paper's topologies), so back-to-back packet events land in adjacent
+// buckets instead of piling into one. The hint affects performance only,
+// never event order; the width adapter still corrects a badly wrong hint.
+// No-op in heap mode or for non-positive/non-finite dt.
+func (e *Engine) HintTick(dt Time) {
+	if e.cq == nil || !(dt > 0) || math.IsInf(dt, 0) {
+		return
+	}
+	e.cq.rebuild(len(e.cq.b), dt)
 }
 
 // Now returns the current simulated time.
@@ -148,9 +232,14 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 func (e *Engine) Steps() uint64 { return e.nsteps }
 
 // Pending returns the exact number of live (non-stopped, not yet fired)
-// timers. Stopped timers are removed from the heap immediately, so they
+// timers. Stopped timers are removed from the queue immediately, so they
 // never inflate this count.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int {
+	if e.cq != nil {
+		return e.cq.n
+	}
+	return len(e.events)
+}
 
 // SetAudit installs h as the engine's audit hook; nil disables auditing.
 // The hook costs one nil check per scheduled and executed event when
@@ -180,7 +269,7 @@ func (e *Engine) SetProbe(h ProbeHook) {
 // ring before the stack unwinds. nil (the default) disables it.
 func (e *Engine) SetCrashHook(fn func(reason string)) { e.crash = fn }
 
-// Scheduled returns the number of timers accepted onto the heap since
+// Scheduled returns the number of timers accepted onto the queue since
 // construction (At/After/AtFunc/AfterFunc and every ResetAt re-arm).
 func (e *Engine) Scheduled() uint64 { return e.scheduled }
 
@@ -196,7 +285,8 @@ func (e *Engine) Stops() uint64 { return e.stops }
 // silently clamping would corrupt causality. Non-finite times (NaN, ±Inf)
 // panic on the same path: NaN in particular compares false against
 // everything, so it would otherwise slip past the t < now guard and
-// corrupt heap ordering for every later event.
+// corrupt queue ordering for every later event. Both queue kinds share
+// this guard, so rejection behavior is identical by construction.
 func (e *Engine) validate(t Time) {
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		e.crashf(fmt.Sprintf("sim: scheduling event at non-finite time %v (now %v)", t, e.now))
@@ -215,8 +305,9 @@ func (e *Engine) crashf(reason string) {
 	panic(reason)
 }
 
-// schedule stamps tm with the next sequence number and pushes it onto the
-// heap. The caller has already validated t and set the callback fields.
+// schedule stamps tm with the next sequence number and inserts it into
+// the queue. The caller has already validated t and set the callback
+// fields.
 func (e *Engine) schedule(t Time, tm *Timer) {
 	if e.audit != nil {
 		e.audit.OnSchedule(e.now, t)
@@ -226,7 +317,43 @@ func (e *Engine) schedule(t Time, tm *Timer) {
 	tm.at = t
 	tm.seq = e.seq
 	tm.stopped = false
-	e.push(tm)
+	if e.cq != nil {
+		e.cq.insert(tm)
+	} else {
+		e.push(tm)
+	}
+}
+
+// removeTimer deletes a queued timer from whichever queue backs the
+// engine, leaving tm.index == -1.
+func (e *Engine) removeTimer(tm *Timer) {
+	if e.cq != nil {
+		e.cq.remove(tm)
+	} else {
+		e.remove(int(tm.index))
+	}
+}
+
+// peekMin returns the earliest pending timer without removing it, or nil
+// when the queue is empty.
+func (e *Engine) peekMin() *Timer {
+	if e.cq != nil {
+		return e.cq.findMin()
+	}
+	if len(e.events) > 0 {
+		return e.events[0]
+	}
+	return nil
+}
+
+// takeMin removes tm — which must be the head peekMin just returned —
+// from the queue.
+func (e *Engine) takeMin(tm *Timer) {
+	if e.cq != nil {
+		e.cq.popHead(tm)
+	} else {
+		e.popMin()
+	}
 }
 
 // newTimer returns a zeroed timer, reusing a recycled one when available.
@@ -237,18 +364,22 @@ func (e *Engine) newTimer() *Timer {
 		e.free = e.free[:n-1]
 		return tm
 	}
-	return &Timer{eng: e}
+	return &Timer{eng: e, index: -1, bkt: bktNone}
 }
 
 // recycle returns an engine-owned timer to the free list. Callback and
 // argument references are dropped so a parked timer cannot retain packets
 // or closures.
 func (e *Engine) recycle(tm *Timer) {
-	tm.fn = nil
 	tm.fnA = nil
 	tm.arg = nil
 	tm.pooled = false
 	tm.stopped = false
+	if e.free == nil {
+		// One right-sized allocation instead of append's doubling walk;
+		// the macro scenarios park a few dozen timers at peak.
+		e.free = make([]*Timer, 0, 64)
+	}
 	e.free = append(e.free, tm)
 }
 
@@ -258,7 +389,8 @@ func (e *Engine) recycle(tm *Timer) {
 func (e *Engine) At(t Time, fn func()) *Timer {
 	e.validate(t)
 	tm := e.newTimer()
-	tm.fn = fn
+	tm.fnA = callFunc
+	tm.arg = fn
 	e.schedule(t, tm)
 	return tm
 }
@@ -291,41 +423,56 @@ func (e *Engine) AfterFunc(d Time, fn func(any), arg any) {
 
 // ResetAt reschedules tm to run fn at absolute time t, reusing the timer
 // object in place: if tm is still pending it is first removed from the
-// heap (exactly like Stop), and either way the same handle is returned
+// queue (exactly like Stop), and either way the same handle is returned
 // re-armed with a fresh sequence number. A nil tm (or one belonging to a
 // different engine) allocates as At does. Because the object is reused
 // only through the handle the caller already holds, recycling is safe by
 // construction; callers that re-arm one logical timer per event (RTO
 // timers, pacing loops) allocate nothing in steady state.
 func (e *Engine) ResetAt(tm *Timer, t Time, fn func()) *Timer {
-	if tm == nil || tm.eng != e {
-		return e.At(t, fn)
-	}
-	e.validate(t)
-	e.rearms++
-	if tm.index >= 0 {
-		e.remove(tm.index)
-	}
-	tm.fn = fn
-	tm.fnA = nil
-	tm.arg = nil
-	e.schedule(t, tm)
-	return tm
+	return e.ResetAtFunc(tm, t, callFunc, fn)
 }
 
 // ResetAfter is ResetAt relative to the current time.
 func (e *Engine) ResetAfter(tm *Timer, d Time, fn func()) *Timer {
-	return e.ResetAt(tm, e.now+d, fn)
+	return e.ResetAtFunc(tm, e.now+d, callFunc, fn)
 }
 
-// step executes the earliest pending event. It reports false when no
-// runnable events remain. Stopped timers are removed from the heap by
-// Stop itself, so every popped timer is live.
-func (e *Engine) step() bool {
-	if len(e.events) == 0 {
-		return false
+// ResetAtFunc is ResetAt for the pre-bound fn(arg) callback form: one
+// logical timer per call site, re-armed in place each event, zero
+// steady-state allocation and — unlike AtFunc — no free-list round trip
+// per event. The returned handle is caller-owned and never recycled by
+// the engine. It consumes exactly one sequence number per call, the same
+// as AtFunc, so swapping one for the other cannot change the event
+// stream a seed produces.
+func (e *Engine) ResetAtFunc(tm *Timer, t Time, fn func(any), arg any) *Timer {
+	if tm == nil || tm.eng != e {
+		e.validate(t)
+		tm = e.newTimer()
+		tm.fnA = fn
+		tm.arg = arg
+		e.schedule(t, tm)
+		return tm
 	}
-	tm := e.popMin()
+	e.validate(t)
+	e.rearms++
+	if tm.index >= 0 {
+		e.removeTimer(tm)
+	}
+	tm.fnA = fn
+	tm.arg = arg
+	e.schedule(t, tm)
+	return tm
+}
+
+// ResetAfterFunc is ResetAtFunc relative to the current time.
+func (e *Engine) ResetAfterFunc(tm *Timer, d Time, fn func(any), arg any) *Timer {
+	return e.ResetAtFunc(tm, e.now+d, fn, arg)
+}
+
+// exec advances the clock to tm and runs its callback. tm has already
+// been removed from the queue.
+func (e *Engine) exec(tm *Timer) {
 	prev := e.now
 	e.now = tm.at
 	e.nsteps++
@@ -335,19 +482,23 @@ func (e *Engine) step() bool {
 	if tm.at >= e.probeAt {
 		e.probeAt = e.probe.OnEvent(prev, tm.at, tm.seq)
 	}
-	if tm.fnA != nil {
-		fn, arg := tm.fnA, tm.arg
-		if tm.pooled {
-			e.recycle(tm)
-		}
-		fn(arg)
-	} else {
-		fn := tm.fn
-		if tm.pooled {
-			e.recycle(tm)
-		}
-		fn()
+	fn, arg := tm.fnA, tm.arg
+	if tm.pooled {
+		e.recycle(tm)
 	}
+	fn(arg)
+}
+
+// step executes the earliest pending event. It reports false when no
+// runnable events remain. Stopped timers are removed from the queue by
+// Stop itself, so every popped timer is live.
+func (e *Engine) step() bool {
+	tm := e.peekMin()
+	if tm == nil {
+		return false
+	}
+	e.takeMin(tm)
+	e.exec(tm)
 	return true
 }
 
@@ -375,20 +526,26 @@ func (e *Engine) RunUntil(t Time) {
 		}
 		return
 	}
-	for len(e.events) > 0 && e.events[0].at <= t {
-		e.step()
+	for {
+		tm := e.peekMin()
+		if tm == nil || tm.at > t {
+			break
+		}
+		e.takeMin(tm)
+		e.exec(tm)
 	}
 	if t > e.now {
 		e.now = t
 	}
 }
 
-// The event heap is 4-ary: children of node i live at 4i+1..4i+4, the
-// parent of node i at (i-1)/4. Ordering is (at, seq); seq is unique, so
-// the order is total and pop order is exactly the FIFO-on-ties order the
-// determinism guarantee requires.
+// The fallback event heap is 4-ary: children of node i live at 4i+1..4i+4,
+// the parent of node i at (i-1)/4. Ordering is (at, seq); seq is unique,
+// so the order is total and pop order is exactly the FIFO-on-ties order
+// the determinism guarantee requires. The calendar queue (calqueue.go)
+// implements the identical order over time buckets.
 
-// less reports whether heap node a fires before heap node b.
+// timerLess reports whether event a fires before event b.
 func timerLess(a, b *Timer) bool {
 	if a.at != b.at {
 		return a.at < b.at
@@ -397,9 +554,9 @@ func timerLess(a, b *Timer) bool {
 }
 
 func (e *Engine) push(tm *Timer) {
-	tm.index = len(e.events)
+	tm.index = int32(len(e.events))
 	e.events = append(e.events, tm)
-	e.siftUp(tm.index)
+	e.siftUp(int(tm.index))
 }
 
 // popMin removes and returns the earliest timer.
@@ -427,7 +584,7 @@ func (e *Engine) remove(i int) {
 	n := len(h) - 1
 	if i != n {
 		h[i] = h[n]
-		h[i].index = i
+		h[i].index = int32(i)
 		h[n] = nil
 		e.events = h[:n]
 		if !e.siftDown(i) {
@@ -451,11 +608,11 @@ func (e *Engine) siftUp(i int) {
 			break
 		}
 		h[i] = h[p]
-		h[i].index = i
+		h[i].index = int32(i)
 		i = p
 	}
 	h[i] = tm
-	tm.index = i
+	tm.index = int32(i)
 }
 
 // siftDown moves the node at i toward the leaves, swapping with its
@@ -482,10 +639,10 @@ func (e *Engine) siftDown(i int) bool {
 			break
 		}
 		h[i] = h[min]
-		h[i].index = i
+		h[i].index = int32(i)
 		i = min
 	}
 	h[i] = tm
-	tm.index = i
+	tm.index = int32(i)
 	return i > start
 }

@@ -277,8 +277,8 @@ func TestStopRemovesTimerFromHeap(t *testing.T) {
 	if got := e.Pending(); got != 0 {
 		t.Fatalf("Pending() = %d after stopping all %d timers, want 0 (heap leak)", got, n)
 	}
-	if len(e.events) != 0 {
-		t.Fatalf("heap holds %d entries after stopping all timers", len(e.events))
+	if n := len(e.events) + queuedInCalendar(e); n != 0 {
+		t.Fatalf("queue holds %d entries after stopping all timers", n)
 	}
 }
 

@@ -206,6 +206,10 @@ func New(eng *sim.Engine, cfg Config) *Dumbbell {
 	if !cfg.DisablePool {
 		d.Pool = &netem.PacketPool{}
 	}
+	// The bottleneck's per-packet transmission time is the dominant event
+	// cadence of every scenario on this topology; sizing the calendar
+	// queue's buckets to it affects performance only, never event order.
+	eng.HintTick(float64(cfg.PktSize) * 8 / cfg.Rate)
 	bdp := cfg.BDPPkts()
 	mk := func(seed int64) netem.Queue {
 		return buildQueue(queueSpec{

@@ -210,6 +210,16 @@ func NewNet(eng *sim.Engine, cfg NetConfig) *Net {
 	if !cfg.DisablePool {
 		n.Pool = &netem.PacketPool{}
 	}
+	// Size the calendar queue's buckets to the slowest hop's per-packet
+	// transmission time, the chain's dominant event cadence (performance
+	// hint only; event order is width-independent).
+	minRate := cfg.Hops[0].Rate
+	for _, h := range cfg.Hops[1:] {
+		if h.Rate < minRate {
+			minRate = h.Rate
+		}
+	}
+	eng.HintTick(float64(cfg.PktSize) * 8 / minRate)
 	for i, h := range cfg.Hops {
 		bdp := cfg.HopBDPPkts(i)
 		n.fwdRt[i] = demux{make(map[int]netem.Handler), n.Pool,

@@ -58,6 +58,26 @@ type Time = sim.Time
 // NewEngine returns a deterministic engine seeded with seed.
 func NewEngine(seed int64) *Engine { return sim.New(seed) }
 
+// QueueKind selects the engine's event-queue implementation. Both kinds
+// produce the identical event order for a given seed and schedule; the
+// calendar queue is the fast default, the heap the fallback and
+// differential-testing oracle.
+type QueueKind = sim.QueueKind
+
+const (
+	// CalendarQueue is the default time-bucketed event queue.
+	CalendarQueue = sim.CalendarQueue
+	// HeapQueue is the 4-ary min-heap fallback (also selectable
+	// process-wide with SLOWCC_EVENTQ=heap).
+	HeapQueue = sim.HeapQueue
+)
+
+// NewEngineWithQueue is NewEngine with an explicit event-queue
+// implementation, for cross-checking the two queues against each other.
+func NewEngineWithQueue(seed int64, kind QueueKind) *Engine {
+	return sim.NewWithQueue(seed, kind)
+}
+
 // DumbbellConfig configures the single-bottleneck topology; the zero
 // value reproduces the paper's defaults (10 Mbps, 50 ms RTT, RED with
 // thresholds at 0.25/1.25 BDP, buffer 2.5 BDP).
