@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke bench-json report-smoke fuzz-smoke matrix-smoke timeline-smoke queue-smoke
+.PHONY: ci vet build test race bench bench-smoke bench-json report-smoke fuzz-smoke matrix-smoke timeline-smoke queue-smoke export-smoke
 
 # ci is the gate future PRs run: static checks, a full build, the
 # complete test suite under the race detector, and a single-iteration
@@ -10,7 +10,7 @@ GO ?= go
 # so packet-accounting regressions fail here even when no figure-level
 # assertion notices them; -race additionally exercises parallelMap's
 # worker pool.
-ci: vet build race bench-smoke queue-smoke report-smoke matrix-smoke timeline-smoke fuzz-smoke
+ci: vet build race bench-smoke queue-smoke report-smoke matrix-smoke timeline-smoke export-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -80,6 +80,44 @@ timeline-smoke:
 	$(GO) run ./cmd/slowccreport -timeline .timeline-smoke/sweep.json \
 		-heatmap .timeline-smoke/matrix.tsv > /dev/null
 	rm -rf .timeline-smoke
+
+# export-smoke drives the live-telemetry stack end to end through the
+# real binary: slowccsim -serve runs fig3 with the export server bound
+# to an ephemeral port, and the smoke scrapes /healthz, waits for the
+# run to finish, scrapes the final /metrics and the full SSE event
+# replay, checks a sweep event arrived, shuts the server down with
+# SIGTERM (which must exit cleanly), and strict-validates the scraped
+# exposition with slowccreport -prom-verify — so a /metrics stream any
+# Prometheus scraper would reject fails ci here.
+export-smoke:
+	rm -rf .export-smoke && mkdir -p .export-smoke
+	$(GO) build -o .export-smoke/slowccsim ./cmd/slowccsim
+	set -e; \
+	.export-smoke/slowccsim -exp fig3 -serve 127.0.0.1:0 -slog warn \
+		> .export-smoke/out.txt 2> .export-smoke/err.txt & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	addr=""; \
+	for i in $$(seq 1 100); do \
+		addr=$$(sed -n 's|^serving telemetry on http://\([^/]*\)/.*|\1|p' .export-smoke/err.txt); \
+		[ -n "$$addr" ] && break; sleep 0.1; \
+	done; \
+	[ -n "$$addr" ] || { echo "export-smoke: server never announced an address" >&2; cat .export-smoke/err.txt >&2; exit 1; }; \
+	curl -sSf "http://$$addr/healthz" > .export-smoke/health.json; \
+	for i in $$(seq 1 200); do \
+		curl -sSf "http://$$addr/healthz" | grep -q '"run_done": true' && break; sleep 0.1; \
+	done; \
+	sleep 0.5; \
+	curl -sSf "http://$$addr/metrics" > .export-smoke/metrics.prom; \
+	curl -sSf "http://$$addr/progress?replay=close" > .export-smoke/progress.sse; \
+	grep -q '^event: sweep' .export-smoke/progress.sse; \
+	grep -q '^slowcc_sweep_cells_done_total' .export-smoke/metrics.prom; \
+	grep -q '^slowcc_stream_digest_info' .export-smoke/metrics.prom; \
+	trap - EXIT; \
+	kill -TERM $$pid; \
+	wait $$pid
+	$(GO) run ./cmd/slowccreport -prom-verify .export-smoke/metrics.prom
+	rm -rf .export-smoke
 
 # fuzz-smoke gives each parser fuzz target a few seconds of coverage-
 # guided input on every ci run — long enough to re-find shallow

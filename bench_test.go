@@ -6,6 +6,7 @@
 package slowcc_test
 
 import (
+	"io"
 	"testing"
 
 	"slowcc"
@@ -423,6 +424,41 @@ func BenchmarkEnginePacketsPerSecondJourneyOff(b *testing.B) {
 		eng.At(0, f2.Sender.Start)
 		eng.RunUntil(30)
 		b.ReportMetric(float64(eng.Steps()), "events")
+	}
+}
+
+// BenchmarkEnginePacketsPerSecondExportOff is the macro scenario with
+// the live-export layer wired but disabled: a counter registry
+// registered over the topology (the state /metrics would render) and
+// the engine's stream-digest slot explicitly set to nil — the exact
+// one-nil-check-per-event configuration every unserved run executes.
+// The Prometheus rendering of the harvested registry happens outside
+// the timed window, proving the scrape path works on this run's state
+// without charging its cost to the hot path. The cmd/slowccbench
+// export gate pairs this against the plain variant from the same run
+// and fails on more than 2% slowdown, any extra allocations over the
+// PR 2 record, or any event-count drift — "telemetry export costs
+// nothing when not serving" stated as a regression check.
+func BenchmarkEnginePacketsPerSecondExportOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := slowcc.NewEngine(int64(i + 1))
+		d := slowcc.NewDumbbell(eng, slowcc.DumbbellConfig{Rate: 10e6, Seed: int64(i + 1)})
+		f1 := slowcc.TCP(0.5).Make(eng, d, 1)
+		f2 := slowcc.TCP(0.5).Make(eng, d, 2)
+		b.StopTimer()
+		reg := &slowcc.CounterRegistry{}
+		d.Observe(reg)
+		eng.SetStreamDigest(nil) // the disabled digest slot, checked per event
+		b.StartTimer()
+		eng.At(0, f1.Sender.Start)
+		eng.At(0, f2.Sender.Start)
+		eng.RunUntil(30)
+		b.ReportMetric(float64(eng.Steps()), "events")
+		b.StopTimer()
+		if err := slowcc.WritePrometheus(io.Discard, reg, nil); err != nil {
+			b.Fatalf("rendering the run's registry: %v", err)
+		}
+		b.StartTimer()
 	}
 }
 

@@ -16,9 +16,12 @@
 // than the PR 2 allocation-free record, with identical event counts
 // throughout. The fault-injection (EnginePacketsPerSecondFaultsOff),
 // topology (EnginePacketsPerSecondTopoOff — an idle parking-lot chain
-// on the same engine), and journey (EnginePacketsPerSecondJourneyOff —
-// journey hooks wired but disabled via ObserveJourneys(nil)) variants
-// are held to the same paired gate.
+// on the same engine), journey (EnginePacketsPerSecondJourneyOff —
+// journey hooks wired but disabled via ObserveJourneys(nil)), and
+// export (EnginePacketsPerSecondExportOff — a counter registry observed
+// over the topology with the engine's stream-digest slot explicitly
+// nil, the state slowccsim -serve scrapes) variants are held to the
+// same paired gate.
 //
 // The calendar-queue fallback gate pairs the same scenario on the heap
 // queue (EnginePacketsPerSecondCalendarOff): the knob must still
@@ -133,6 +136,7 @@ type report struct {
 	Faults     obsOutcome        `json:"faults_overhead"`
 	Topo       obsOutcome        `json:"topology_overhead"`
 	Journey    obsOutcome        `json:"journey_overhead"`
+	Export     obsOutcome        `json:"export_overhead"`
 	Calendar   obsOutcome        `json:"calendar_fallback"`
 }
 
@@ -181,7 +185,7 @@ var suites = []struct{ pkg, pattern string }{
 	// invocation as the plain macro-benchmark so the overhead
 	// comparisons are paired: same machine, same load, interleaved by
 	// -count.
-	{".", "EnginePacketsPerSecond$|EnginePacketsPerSecondObsOff|EnginePacketsPerSecondFaultsOff|EnginePacketsPerSecondTopoOff|EnginePacketsPerSecondJourneyOff|EnginePacketsPerSecondCalendarOff|TCPFlowSimSecond|TFRCFlowSimSecond"},
+	{".", "EnginePacketsPerSecond$|EnginePacketsPerSecondObsOff|EnginePacketsPerSecondFaultsOff|EnginePacketsPerSecondTopoOff|EnginePacketsPerSecondJourneyOff|EnginePacketsPerSecondExportOff|EnginePacketsPerSecondCalendarOff|TCPFlowSimSecond|TFRCFlowSimSecond"},
 	{"./internal/sim", "EngineEventTurnover"},
 	{"./internal/netem", "LinkForward"},
 }
@@ -253,6 +257,10 @@ func main() {
 			cur.Benchmarks["EnginePacketsPerSecond"],
 			cur.Benchmarks["EnginePacketsPerSecondJourneyOff"],
 			pr2.Benchmarks["EnginePacketsPerSecond"], g.MaxObsSlowdown, g.MaxObsExtraAllocs),
+		Export: pairedOverhead("EnginePacketsPerSecondExportOff",
+			cur.Benchmarks["EnginePacketsPerSecond"],
+			cur.Benchmarks["EnginePacketsPerSecondExportOff"],
+			pr2.Benchmarks["EnginePacketsPerSecond"], g.MaxObsSlowdown, g.MaxObsExtraAllocs),
 		Calendar: pairedOverhead("EnginePacketsPerSecondCalendarOff",
 			cur.Benchmarks["EnginePacketsPerSecond"],
 			cur.Benchmarks["EnginePacketsPerSecondCalendarOff"],
@@ -272,7 +280,7 @@ func main() {
 	t := rep.Trajectory
 	fmt.Printf("%s: speedup %.2fx (gate %.1fx), allocs drop %.2f%% (gate %.0f%%), events identical: %v -> %s\n",
 		t.Benchmark, t.Speedup, g.MinSpeedup, t.AllocsDrop*100, g.MinAllocsDrop*100, t.EventsSame, *out)
-	for _, o := range []obsOutcome{rep.Obs, rep.Faults, rep.Topo, rep.Journey, rep.Calendar} {
+	for _, o := range []obsOutcome{rep.Obs, rep.Faults, rep.Topo, rep.Journey, rep.Export, rep.Calendar} {
 		fmt.Printf("%s: slowdown %.3fx vs plain, extra allocs %+.0f vs pr2, events identical: %v\n",
 			o.Benchmark, o.Slowdown, o.ExtraAllocs, o.EventsSame)
 	}
@@ -293,6 +301,7 @@ func main() {
 		{rep.Faults, "fault-injection overhead"},
 		{rep.Topo, "topology overhead"},
 		{rep.Journey, "journey overhead"},
+		{rep.Export, "export overhead"},
 		{rep.Calendar, "calendar fallback"},
 	} {
 		if !fail.o.Pass {

@@ -24,6 +24,16 @@
 //	slowccreport -heatmap matrix.tsv -heatmap-metric jain
 //	slowccreport -heatmap matrix.tsv -heatmap-svg matrix.svg
 //	slowccreport -timeline tl.json
+//	slowccreport -prom run1.json                # manifest as Prometheus text
+//	slowccreport -prom-verify metrics.prom      # strict exposition validation
+//
+// -prom renders manifests in Prometheus text exposition format v0.0.4
+// (the same renderer behind slowccsim -serve's /metrics), so a stored
+// run record can be pushed into any Prometheus-compatible pipeline;
+// -prom-verify strictly validates an exposition file — every sample
+// must belong to a declared family, histogram buckets must be
+// cumulative with +Inf matching _count — which is the CI gate on
+// scraped /metrics output.
 package main
 
 import (
@@ -53,10 +63,27 @@ func main() {
 		heatMetric = flag.String("heatmap-metric", "ratio", "heatmap metric: "+strings.Join(slowcc.MatrixMetrics(), ", "))
 		heatSVG    = flag.String("heatmap-svg", "", "also write the heatmap as a standalone SVG to this path")
 		timeline   = flag.String("timeline", "", "validate a trace-event JSON timeline and report its event count")
+		prom       = flag.Bool("prom", false, "render the manifests as Prometheus text exposition instead of the comparison table")
+		promVerify = flag.String("prom-verify", "", "strictly validate a Prometheus text exposition file (e.g. a scraped /metrics) and report family/sample counts")
 	)
 	flag.Parse()
 
 	ran := false
+	if *promVerify != "" {
+		ran = true
+		f, err := os.Open(*promVerify)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		families, samples, err := slowcc.ValidatePrometheus(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prom-verify %s: %v\n", *promVerify, err)
+			os.Exit(1)
+		}
+		fmt.Printf("prom %s: valid, %d families, %d samples\n", *promVerify, families, samples)
+	}
 	if *timeline != "" {
 		ran = true
 		n, err := slowcc.ReadTimelineFile(*timeline)
@@ -86,6 +113,18 @@ func main() {
 			os.Exit(1)
 		}
 		manifests = append(manifests, m)
+	}
+	if *prom {
+		// One exposition stream per manifest; each family set carries the
+		// run digest in its run_info metric, so concatenated output stays
+		// attributable.
+		for _, m := range manifests {
+			if err := slowcc.WriteManifestPrometheus(os.Stdout, m); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 
 	samples := make([][]slowcc.ProbeSample, len(manifests))

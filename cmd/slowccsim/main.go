@@ -32,17 +32,21 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"slowcc/internal/exp"
 	"slowcc/internal/faults"
 	"slowcc/internal/obs"
+	"slowcc/internal/obs/export"
 	"slowcc/internal/sim"
 )
 
@@ -95,6 +99,9 @@ func main() {
 		deadline   = flag.Duration("deadline", 0, "per-sweep-cell wall-clock deadline; a cell over it is degraded, not fatal (0 = none)")
 		faultSpec  = flag.String("fault", "", "fault spec injected at every scenario's bottleneck, e.g. 'down:25+5;corrupt:0.001' (see internal/faults)")
 		timeline   = flag.String("timeline", "", "write sweep telemetry (per-cell queued/running/retry/degraded spans, one lane per worker) as trace-event JSON to this path")
+		serve      = flag.String("serve", "", "serve live telemetry on this address (e.g. 127.0.0.1:9155): /metrics, /healthz, /progress SSE, /debug/pprof; blocks after the run until interrupted")
+		serveOnce  = flag.Bool("serve-once", false, "with -serve: exit as soon as the run finishes instead of blocking for scrapes (CI smoke)")
+		slogLevel  = flag.String("slog", "", "emit structured sweep logs to stderr at this level (debug, info, warn, error)")
 	)
 	flag.StringVar(&matrixFlags.algos, "matrix", "", "matrix experiment: comma-separated algorithm specs, e.g. 'tcp:0.5,tfrc:8,sqrt' (empty = the paper's seven)")
 	flag.StringVar(&matrixFlags.topology, "topology", "both", "matrix experiment: dumbbell, parking-lot[:hops], or both")
@@ -189,6 +196,38 @@ func main() {
 	if matrixFlags.topology != "both" {
 		m.Config["topology"] = matrixFlags.topology
 	}
+	// The run digest (seed + flags, before any results land) names this
+	// run in structured logs and on /metrics, so a scrape or a log line
+	// can be tied back to the exact invocation that produced it.
+	var (
+		prog *export.Progress
+		srv  *export.Server
+	)
+	if *serve != "" || *slogLevel != "" {
+		runDigest := m.ComputeDigest()
+		if *slogLevel != "" {
+			var lvl slog.Level
+			if err := lvl.UnmarshalText([]byte(*slogLevel)); err != nil {
+				fmt.Fprintf(os.Stderr, "-slog: %v\n", err)
+				os.Exit(2)
+			}
+			h := slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})
+			exp.SetSweepLogger(slog.New(h).With("run", runDigest))
+		}
+		if *serve != "" {
+			col := export.NewCollector()
+			prog = export.NewProgress(col)
+			prog.SetRun(runDigest)
+			exp.SetSweepProgress(prog)
+			srv = export.NewServer(col, prog)
+			addr, err := srv.Start(*serve)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "-serve: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "serving telemetry on http://%s/{metrics,healthz,progress,debug/pprof}\n", addr)
+		}
+	}
 	wallStart := time.Now()
 	for _, e := range exps {
 		if *name != "all" && !strings.EqualFold(*name, e.name) {
@@ -244,6 +283,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("manifest written to %s\n", *manifest)
+	}
+	if prog != nil {
+		prog.RunDone()
+	}
+	if srv != nil {
+		// All outputs are on disk; keep the endpoints up so the run's
+		// final metrics can be scraped, unless this is a CI smoke.
+		if !*serveOnce {
+			fmt.Fprintln(os.Stderr, "run complete; serving telemetry until SIGINT/SIGTERM")
+			ch := make(chan os.Signal, 1)
+			signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+			<-ch
+		}
+		srv.Close()
 	}
 	if degraded && matrixFlags.failDegraded {
 		// After the manifest is on disk, so the failure is inspectable.

@@ -49,6 +49,12 @@
 // then load tl.json in Perfetto (ui.perfetto.dev) or chrome://tracing:
 // one lane per hop, one row per flow, with queue/tx/prop microseconds
 // on every span.
+//
+// -digest folds every executed event (time, sequence, ordering kind)
+// into a rolling FNV-1a fingerprint and prints it. Two runs that print
+// the same digest executed the same event stream in the same order, so
+// the flag turns "are these runs identical?" into a string compare —
+// it is how CI proves the calendar and heap schedulers agree.
 package main
 
 import (
@@ -93,6 +99,7 @@ func main() {
 		fault    = flag.String("fault", "", "fault spec for the forward bottleneck, e.g. 'down:10+2;corrupt:0.001' (see internal/faults)")
 		journeys = flag.Bool("journeys", false, "record per-hop packet journeys and print the latency attribution table")
 		timeline = flag.String("timeline", "", "write a Perfetto-loadable trace-event JSON timeline of the journeys to this path (implies -journeys)")
+		digest   = flag.Bool("digest", false, "fold every executed event into a rolling stream digest and print it (an O(1)-memory fingerprint of the run; also lands in the manifest)")
 	)
 	flag.Parse()
 	if *fault != "" {
@@ -113,6 +120,7 @@ func main() {
 		ProbeInterval: *probe,
 		FaultSpec:     *fault,
 		Journeys:      *journeys || *timeline != "",
+		Digest:        *digest,
 	}
 	for _, spec := range flows {
 		algo, err := parseAlgo(spec)
@@ -156,6 +164,9 @@ func main() {
 
 	m := run.Manifest("slowcctrace")
 
+	if run.Digest != nil {
+		fmt.Printf("stream digest: %016x over %d events\n", run.Digest.Sum(), run.Digest.Events())
+	}
 	if run.Journeys != nil {
 		printAttribution(run.Journeys)
 	}

@@ -1,0 +1,80 @@
+// Differential and observer-purity guarantees of the stream digest,
+// checked at the public surface on the pinned seed-1 macro run:
+//
+//   - the digest is queue-implementation-independent — the calendar
+//     queue and the heap fallback fold to the identical fingerprint,
+//     which is what lets CI compare two binaries by one hex string
+//     instead of two full packet traces; and
+//   - attaching a digest is a pure observation — the packet stream of a
+//     digested run is bit-identical to an undigested one, so turning
+//     the fingerprint on for a production run costs nothing but the
+//     fold itself.
+//
+// The test keeps the TestCalendarVsHeap name prefix so the Makefile's
+// queue-smoke -run pattern picks it up.
+package slowcc_test
+
+import (
+	"testing"
+
+	"slowcc"
+)
+
+// digestMacroRun executes the slowccbench macro scenario (two standard
+// TCP flows, 10 Mbps, 30 s, seed 1) on the given queue kind, optionally
+// with a stream digest attached, and returns the engine, the digest
+// (nil when detached), and the bottleneck packet trace.
+func digestMacroRun(t *testing.T, kind slowcc.QueueKind, attach bool) (*slowcc.Engine, *slowcc.StreamDigest, []slowcc.TraceEvent) {
+	t.Helper()
+	eng := slowcc.NewEngineWithQueue(1, kind)
+	var dig *slowcc.StreamDigest
+	if attach {
+		dig = &slowcc.StreamDigest{}
+		eng.SetStreamDigest(dig)
+	}
+	d := slowcc.NewDumbbell(eng, slowcc.DumbbellConfig{Rate: 10e6, Seed: 1})
+	rec := &slowcc.Tracer{}
+	d.LR.AddTap(rec.LinkTap())
+	f1 := slowcc.TCP(0.5).Make(eng, d, 1)
+	f2 := slowcc.TCP(0.5).Make(eng, d, 2)
+	eng.At(0, f1.Sender.Start)
+	eng.At(0, f2.Sender.Start)
+	eng.RunUntil(30)
+	return eng, dig, rec.Events()
+}
+
+func TestCalendarVsHeapStreamDigest(t *testing.T) {
+	const pinnedEvents = 403989
+
+	calEng, calDig, calEv := digestMacroRun(t, slowcc.CalendarQueue, true)
+	heapEng, heapDig, heapEv := digestMacroRun(t, slowcc.HeapQueue, true)
+	offEng, _, offEv := digestMacroRun(t, slowcc.CalendarQueue, false)
+
+	for _, c := range []struct {
+		name string
+		eng  *slowcc.Engine
+	}{{"calendar", calEng}, {"heap", heapEng}, {"undigested", offEng}} {
+		if got := c.eng.Steps(); got != pinnedEvents {
+			t.Fatalf("%s run executed %d events, want the pinned %d", c.name, got, pinnedEvents)
+		}
+	}
+	if calDig.Events() != pinnedEvents || heapDig.Events() != pinnedEvents {
+		t.Fatalf("digest covered %d/%d events, want every one of the %d",
+			calDig.Events(), heapDig.Events(), pinnedEvents)
+	}
+	if calDig.Sum() != heapDig.Sum() {
+		t.Fatalf("stream digests diverge across queue kinds: calendar %016x, heap %016x",
+			calDig.Sum(), heapDig.Sum())
+	}
+	// Attaching the digest must not perturb the run: the digested and
+	// undigested packet streams are compared event for event.
+	if len(calEv) != len(offEv) || len(heapEv) != len(offEv) {
+		t.Fatalf("trace lengths differ: digested %d/%d, undigested %d",
+			len(calEv), len(heapEv), len(offEv))
+	}
+	for i := range offEv {
+		if calEv[i] != offEv[i] {
+			t.Fatalf("digested run diverged at trace event %d: %+v vs %+v", i, calEv[i], offEv[i])
+		}
+	}
+}

@@ -110,7 +110,7 @@ func newScenario(c *Cell, seed int64, tc topology.Config) (*sim.Engine, *topolog
 // is enabled.
 func newFaultScenario(c *Cell, seed int64, tc topology.Config, fc *faults.Config) (*sim.Engine, *topology.Dumbbell, *faults.Injector) {
 	eng := sim.New(seed)
-	budget, fault, pol := scenarioGlobals()
+	budget, fault, pol, collect := scenarioGlobals()
 	if fc == nil {
 		fc = fault
 	}
@@ -156,7 +156,23 @@ func newFaultScenario(c *Cell, seed int64, tc topology.Config, fc *faults.Config
 		d.LR.AddTap(fr.LinkTap())
 		c.flight = fr
 	}
+	if c != nil && collect {
+		c.observe(eng, func(reg *obs.Registry) { d.Observe(reg) })
+	}
 	return eng, d, inj
+}
+
+// observe attaches live-telemetry collection points to one engine the
+// cell constructed: a counter registry populated by the topology's
+// Observe, and a stream digest folding the engine's event stream (one
+// extra nil-check branch per event while the cell runs). The supervisor
+// snapshots both into obs.CellStats after the job returns.
+func (c *Cell) observe(eng *sim.Engine, register func(*obs.Registry)) {
+	reg := &obs.Registry{}
+	register(reg)
+	dig := &sim.StreamDigest{}
+	eng.SetStreamDigest(dig)
+	c.obsv = append(c.obsv, cellObs{eng: eng, reg: reg, dig: dig})
 }
 
 // newNetScenario is the parking-lot counterpart of newFaultScenario: it
@@ -167,7 +183,7 @@ func newFaultScenario(c *Cell, seed int64, tc topology.Config, fc *faults.Config
 // The flight recorder taps the first hop, the chain's analogue of LR.
 func newNetScenario(c *Cell, seed int64, nc topology.NetConfig, fc *faults.Config, faultHop int) (*sim.Engine, *topology.Net, *faults.Injector) {
 	eng := sim.New(seed)
-	budget, fault, pol := scenarioGlobals()
+	budget, fault, pol, collect := scenarioGlobals()
 	if fc == nil {
 		fc = fault
 	}
@@ -222,6 +238,9 @@ func newNetScenario(c *Cell, seed int64, nc topology.NetConfig, fc *faults.Confi
 		fr := obs.NewFlightRecorder(ring)
 		n.Fwd[0].AddTap(fr.LinkTap())
 		c.flight = fr
+	}
+	if c != nil && collect {
+		c.observe(eng, func(reg *obs.Registry) { n.Observe(reg) })
 	}
 	return eng, n, inj
 }

@@ -1,0 +1,204 @@
+package exp
+
+import (
+	"bytes"
+	"log/slog"
+	"sync"
+	"testing"
+
+	"slowcc/internal/obs"
+	"slowcc/internal/sim"
+	"slowcc/internal/topology"
+)
+
+// recordingSink is an obs.SweepSink capturing everything it receives.
+type recordingSink struct {
+	mu     sync.Mutex
+	events []obs.SweepEvent
+	stats  []obs.CellStats
+}
+
+func (s *recordingSink) SweepEvent(ev obs.SweepEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, ev)
+}
+
+func (s *recordingSink) CellStats(st obs.CellStats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = append(s.stats, st)
+}
+
+func (s *recordingSink) cellKinds(cell int) []obs.SweepEventKind {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var kinds []obs.SweepEventKind
+	for _, ev := range s.events {
+		if ev.Cell == cell {
+			kinds = append(kinds, ev.Kind)
+		}
+	}
+	return kinds
+}
+
+func withSink(t *testing.T) *recordingSink {
+	t.Helper()
+	sink := &recordingSink{}
+	prev := SetSweepProgress(sink)
+	t.Cleanup(func() { SetSweepProgress(prev) })
+	return sink
+}
+
+func kindsEqual(got []obs.SweepEventKind, want ...obs.SweepEventKind) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// A supervised cell with live telemetry attached must deliver a
+// CellStats snapshot carrying the real scenario's counters and stream
+// digest, plus the queued/running/done event sequence.
+func TestSweepProgressCellStatsFromRealScenario(t *testing.T) {
+	withPolicy(t, CellPolicy{Retries: 0})
+	sink := withSink(t)
+	_, rerr := Supervise(0, func(c *Cell) int {
+		runCellScenario(c, 1)
+		return 1
+	})
+	if rerr != nil {
+		t.Fatalf("cell failed: %v", rerr)
+	}
+	if !kindsEqual(sink.cellKinds(0), obs.SweepQueued, obs.SweepRunning, obs.SweepDone) {
+		t.Fatalf("event kinds = %v, want queued/running/done", sink.cellKinds(0))
+	}
+	if len(sink.stats) != 1 {
+		t.Fatalf("got %d CellStats, want 1", len(sink.stats))
+	}
+	st := sink.stats[0]
+	if st.Counters["engine.fired"] == 0 {
+		t.Fatalf("cell counters missing engine.fired: %v", st.Counters)
+	}
+	if st.Counters["link.lr.departures"] == 0 {
+		t.Fatalf("cell counters missing bottleneck traffic: %v", st.Counters)
+	}
+	if st.DigestEvents == 0 || st.DigestEvents != st.Events {
+		t.Fatalf("digest covered %d of %d events", st.DigestEvents, st.Events)
+	}
+	if st.Halt != "" {
+		t.Fatalf("unbudgeted run reported halt %q", st.Halt)
+	}
+	// The digest must be the run's fingerprint: the same scenario on the
+	// same seed reproduces it, a different seed does not.
+	for seed, wantEqual := range map[int64]bool{1: true, 2: false} {
+		sink2 := &recordingSink{}
+		prev := SetSweepProgress(sink2)
+		_, rerr := Supervise(0, func(c *Cell) int { runCellScenario(c, seed); return 1 })
+		SetSweepProgress(prev)
+		if rerr != nil {
+			t.Fatalf("seed %d rerun failed: %v", seed, rerr)
+		}
+		if got := sink2.stats[0].Digest == st.Digest; got != wantEqual {
+			t.Errorf("seed %d: digest equality = %v, want %v", seed, got, wantEqual)
+		}
+	}
+}
+
+// Retries must show up as retry events, and exhausted cells as a
+// degraded terminal event with no CellStats.
+func TestSweepProgressRetryAndDegradedOrdering(t *testing.T) {
+	withPolicy(t, CellPolicy{Retries: 1})
+	sink := withSink(t)
+	out := supervisedMap(2, func(c *Cell) int {
+		switch {
+		case c.Index() == 0 && c.Attempt() == 0:
+			panic("first attempt dies")
+		case c.Index() == 1:
+			panic("every attempt dies")
+		}
+		return c.Index() + 10
+	})
+	if out[0] != 10 || out[1] != 0 {
+		t.Fatalf("sweep values = %v", out)
+	}
+	if errs := SweepErrors(); len(errs) != 1 || errs[0].Index != 1 {
+		t.Fatalf("SweepErrors = %v, want one for cell 1", errs)
+	}
+	ResetSweepErrors()
+	if !kindsEqual(sink.cellKinds(0), obs.SweepQueued, obs.SweepRunning, obs.SweepRetry, obs.SweepDone) {
+		t.Fatalf("cell 0 kinds = %v, want queued/running/retry/done", sink.cellKinds(0))
+	}
+	if !kindsEqual(sink.cellKinds(1), obs.SweepQueued, obs.SweepRunning, obs.SweepRetry, obs.SweepDegraded) {
+		t.Fatalf("cell 1 kinds = %v, want queued/running/retry/degraded", sink.cellKinds(1))
+	}
+	if len(sink.stats) != 1 || sink.stats[0].Cell != 0 {
+		t.Fatalf("CellStats = %+v, want exactly cell 0", sink.stats)
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	for _, ev := range sink.events {
+		if ev.Kind == obs.SweepDegraded && ev.Outcome != "panic" {
+			t.Fatalf("degraded outcome %q, want panic", ev.Outcome)
+		}
+	}
+}
+
+// A cell whose engine trips the global run budget must surface the halt
+// reason in its CellStats and done event.
+func TestSweepProgressReportsBudgetHalt(t *testing.T) {
+	withPolicy(t, CellPolicy{Retries: 0})
+	sink := withSink(t)
+	prev := SetRunBudget(&sim.Budget{MaxEvents: 50})
+	defer SetRunBudget(prev)
+	_, rerr := Supervise(0, func(c *Cell) int {
+		eng, _ := newScenario(c, 1, topology.Config{Rate: 1e6, Seed: 1})
+		var fn func(any)
+		fn = func(any) { eng.AfterFunc(1e-3, fn, nil) }
+		eng.AfterFunc(1e-3, fn, nil)
+		eng.RunUntil(1e6)
+		return 1
+	})
+	if rerr != nil {
+		t.Fatalf("cell failed: %v", rerr)
+	}
+	if len(sink.stats) != 1 || sink.stats[0].Halt == "" {
+		t.Fatalf("CellStats halt not reported: %+v", sink.stats)
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	last := sink.events[len(sink.events)-1]
+	if last.Kind != obs.SweepDone || last.Halt == "" {
+		t.Fatalf("done event missing halt reason: %+v", last)
+	}
+}
+
+// The sweep logger must receive one structured record per attempt with
+// the cell/attempt/outcome attributes, and a Warn for degraded cells.
+func TestSweepLoggerRecords(t *testing.T) {
+	withPolicy(t, CellPolicy{Retries: 0})
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	prev := SetSweepLogger(logger.With("run", "deadbeef"))
+	defer SetSweepLogger(prev)
+	_, _ = Supervise(3, func(c *Cell) int { return 1 })
+	_, rerr := Supervise(4, func(c *Cell) int { panic("dies") })
+	if rerr == nil {
+		t.Fatal("expected degraded cell")
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"sweep cell done", "cell=3", "outcome=ok", "run=deadbeef",
+		"sweep cell attempt failed", "cell=4", "outcome=panic",
+		"level=WARN", "sweep cell degraded",
+	} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Errorf("log output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,8 +1,11 @@
 package exp
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"path/filepath"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -77,6 +80,18 @@ type Cell struct {
 	index   int
 	attempt int
 	flight  *obs.FlightRecorder
+	// obsv collects one entry per engine the cell constructed when live
+	// telemetry is on (SetSweepProgress): the counter registry and
+	// stream digest the supervisor snapshots into obs.CellStats after
+	// the job returns. Only the attempt's own goroutine touches it.
+	obsv []cellObs
+}
+
+// cellObs is one engine's telemetry attachment points.
+type cellObs struct {
+	eng *sim.Engine
+	reg *obs.Registry
+	dig *sim.StreamDigest
 }
 
 // Index returns the sweep index this cell computes.
@@ -118,6 +133,8 @@ var supervision = struct {
 	budget   *sim.Budget
 	fault    *faults.Config
 	timeline *obs.Timeline
+	sink     obs.SweepSink
+	logger   *slog.Logger
 	sweepT0  time.Time
 }{pol: CellPolicy{Retries: 1}}
 
@@ -205,6 +222,45 @@ func sweepTimeline() (*obs.Timeline, time.Time) {
 	return supervision.timeline, supervision.sweepT0
 }
 
+// SetSweepProgress installs a live progress sink (export.Progress, or
+// anything else implementing obs.SweepSink): supervised sweeps emit one
+// SweepEvent per cell transition — the SSE mirror of the timeline spans
+// — and, for every successfully finished cell, an obs.CellStats
+// snapshot of the counters, histograms, and stream digest of each
+// engine the cell constructed. Snapshots are taken on the worker
+// goroutine after the job returns, so the sink never observes a live
+// engine. nil removes the sink; returns the previous one.
+func SetSweepProgress(sink obs.SweepSink) (prev obs.SweepSink) {
+	supervision.mu.Lock()
+	defer supervision.mu.Unlock()
+	prev = supervision.sink
+	supervision.sink = sink
+	if supervision.sweepT0.IsZero() {
+		supervision.sweepT0 = time.Now()
+	}
+	return prev
+}
+
+// SetSweepLogger installs a structured logger for supervised cells: one
+// record per attempt (cell, attempt, worker, outcome, duration, halt
+// reason) at Info, degraded cells at Warn. Callers attach run-scoped
+// attributes — slowccsim adds the run-manifest digest via
+// logger.With("run", digest) — so every record of a sweep carries its
+// provenance. nil removes the logger; returns the previous one.
+func SetSweepLogger(l *slog.Logger) (prev *slog.Logger) {
+	supervision.mu.Lock()
+	defer supervision.mu.Unlock()
+	prev = supervision.logger
+	supervision.logger = l
+	return prev
+}
+
+func sweepTelemetry() (obs.SweepSink, *slog.Logger, time.Time) {
+	supervision.mu.Lock()
+	defer supervision.mu.Unlock()
+	return supervision.sink, supervision.logger, supervision.sweepT0
+}
+
 // Sweep-telemetry lane layout. Workers share the sweep process (pid
 // sweepWorkersPid, one thread per worker goroutine); queued spans get
 // one row per cell in their own process so overlapping waits stay
@@ -220,10 +276,13 @@ func sweepSince(t0 time.Time) float64 {
 	return float64(time.Since(t0)) / float64(time.Microsecond)
 }
 
-func scenarioGlobals() (*sim.Budget, *faults.Config, CellPolicy) {
+// scenarioGlobals snapshots the supervision knobs a scenario
+// constructor needs; collect reports whether a progress sink wants
+// per-cell telemetry attached.
+func scenarioGlobals() (budget *sim.Budget, fault *faults.Config, pol CellPolicy, collect bool) {
 	supervision.mu.Lock()
 	defer supervision.mu.Unlock()
-	return supervision.budget, supervision.fault, supervision.pol
+	return supervision.budget, supervision.fault, supervision.pol, supervision.sink != nil
 }
 
 // Supervise runs job as one supervised sweep cell under the current
@@ -242,6 +301,7 @@ func superviseCell[T any](index, worker int, pol CellPolicy, job func(c *Cell) T
 		attempts = 1
 	}
 	tl, t0 := sweepTimeline()
+	sink, logger, st0 := sweepTelemetry()
 	if tl != nil {
 		// The cell waited in the feed queue from sweep start until this
 		// worker picked it up; give that wait its own row so slow-to-start
@@ -253,13 +313,25 @@ func superviseCell[T any](index, worker int, pol CellPolicy, job func(c *Cell) T
 		tl.ProcessName(sweepWorkersPid, "sweep workers")
 		tl.ThreadName(sweepWorkersPid, worker, fmt.Sprintf("worker %d", worker))
 	}
+	if sink != nil {
+		sink.SweepEvent(obs.SweepEvent{Kind: obs.SweepQueued, Cell: index, Worker: worker, AtMS: msSince(st0)})
+	}
 	var last *RunError
 	for a := 0; a < attempts; a++ {
 		start := 0.0
 		if tl != nil {
 			start = sweepSince(t0)
 		}
-		v, rerr := runAttempt(index, a, pol, job)
+		if sink != nil {
+			kind := obs.SweepRunning
+			if a > 0 {
+				kind = obs.SweepRetry
+			}
+			sink.SweepEvent(obs.SweepEvent{Kind: kind, Cell: index, Attempt: a, Worker: worker, AtMS: msSince(st0)})
+		}
+		wall0 := time.Now()
+		v, cell, rerr := runAttempt(index, a, pol, job)
+		dur := time.Since(wall0)
 		if tl != nil {
 			cat, name := "running", fmt.Sprintf("cell %d", index)
 			if a > 0 {
@@ -269,7 +341,26 @@ func superviseCell[T any](index, worker int, pol CellPolicy, job func(c *Cell) T
 			tl.Span(cat, name, sweepWorkersPid, worker, start, sweepSince(t0)-start, args)
 		}
 		if rerr == nil {
+			st := cellStats(index, cell)
+			if logger != nil {
+				logger.LogAttrs(context.Background(), slog.LevelInfo, "sweep cell done",
+					slog.Int("cell", index), slog.Int("attempt", a), slog.Int("worker", worker),
+					slog.String("outcome", "ok"), slog.Duration("dur", dur), slog.String("halt", st.Halt))
+			}
+			if sink != nil {
+				sink.CellStats(st)
+				sink.SweepEvent(obs.SweepEvent{
+					Kind: obs.SweepDone, Cell: index, Attempt: a, Worker: worker,
+					Outcome: "ok", Halt: st.Halt,
+					AtMS: msSince(st0), DurMS: float64(dur) / float64(time.Millisecond),
+				})
+			}
 			return v, nil
+		}
+		if logger != nil {
+			logger.LogAttrs(context.Background(), slog.LevelInfo, "sweep cell attempt failed",
+				slog.Int("cell", index), slog.Int("attempt", a), slog.Int("worker", worker),
+				slog.String("outcome", attemptOutcome(rerr)), slog.Duration("dur", dur))
 		}
 		last = rerr
 	}
@@ -278,8 +369,49 @@ func superviseCell[T any](index, worker int, pol CellPolicy, job func(c *Cell) T
 		tl.Instant("degraded", fmt.Sprintf("cell %d degraded", index), sweepWorkersPid, worker, sweepSince(t0),
 			map[string]any{"index": index, "attempts": attempts})
 	}
+	if logger != nil {
+		logger.LogAttrs(context.Background(), slog.LevelWarn, "sweep cell degraded",
+			slog.Int("cell", index), slog.Int("attempts", attempts), slog.Int("worker", worker),
+			slog.String("outcome", attemptOutcome(last)))
+	}
+	if sink != nil {
+		sink.SweepEvent(obs.SweepEvent{
+			Kind: obs.SweepDegraded, Cell: index, Attempt: attempts - 1, Worker: worker,
+			Outcome: attemptOutcome(last), AtMS: msSince(st0),
+		})
+	}
 	var zero T
 	return zero, last
+}
+
+// msSince converts a wall-clock instant into milliseconds-ago.
+func msSince(t0 time.Time) float64 {
+	return float64(time.Since(t0)) / float64(time.Millisecond)
+}
+
+// cellStats snapshots a successfully finished cell's telemetry: summed
+// counters, every histogram by value, the XOR-combined stream digest,
+// and the first budget halt reason. Safe because the job has returned —
+// nothing else writes to these engines anymore.
+func cellStats(index int, c *Cell) obs.CellStats {
+	st := obs.CellStats{Cell: index}
+	if c == nil || len(c.obsv) == 0 {
+		return st
+	}
+	st.Counters = map[string]int64{}
+	for _, o := range c.obsv {
+		for k, v := range o.reg.Snapshot() {
+			st.Counters[k] += v
+		}
+		st.Hists = append(st.Hists, o.reg.SnapshotHistograms()...)
+		st.Digest ^= o.dig.Sum()
+		st.DigestEvents += o.dig.Events()
+		st.Events += o.eng.Steps()
+		if h := o.eng.Halted(); h != nil && h.Cause != sim.HaltDone && st.Halt == "" {
+			st.Halt = h.String()
+		}
+	}
+	return st
 }
 
 // attemptOutcome labels a finished attempt for timeline args.
@@ -295,14 +427,20 @@ func attemptOutcome(rerr *RunError) string {
 }
 
 // runAttempt executes one attempt with panic recovery; with a deadline
-// it runs on its own goroutine so a hung cell can be abandoned.
-func runAttempt[T any](index, attempt int, pol CellPolicy, job func(c *Cell) T) (T, *RunError) {
+// it runs on its own goroutine so a hung cell can be abandoned. The
+// attempt's Cell is returned alongside the value so the supervisor can
+// harvest per-cell telemetry — but only consulted on success, when the
+// job has provably returned and no goroutine still runs it. Each
+// attempt runs under pprof labels (slowcc_cell, slowcc_attempt), so CPU
+// profiles scraped from /debug/pprof attribute samples to sweep cells.
+func runAttempt[T any](index, attempt int, pol CellPolicy, job func(c *Cell) T) (T, *Cell, *RunError) {
 	c := &Cell{index: index, attempt: attempt}
 	type outcome struct {
 		v    T
 		rerr *RunError
 	}
 	res := make(chan outcome, 1) // buffered: an abandoned attempt still completes and is collected
+	labels := pprof.Labels("slowcc_cell", fmt.Sprint(index), "slowcc_attempt", fmt.Sprint(attempt))
 	run := func() {
 		var o outcome
 		defer func() {
@@ -316,20 +454,22 @@ func runAttempt[T any](index, attempt int, pol CellPolicy, job func(c *Cell) T) 
 			}
 			res <- o
 		}()
-		o.v = job(c)
+		pprof.Do(context.Background(), labels, func(context.Context) {
+			o.v = job(c)
+		})
 	}
 	if pol.Deadline <= 0 {
 		run()
 		o := <-res
-		return o.v, o.rerr
+		return o.v, c, o.rerr
 	}
 	go run()
 	select {
 	case o := <-res:
-		return o.v, o.rerr
+		return o.v, c, o.rerr
 	case <-time.After(pol.Deadline):
 		var zero T
-		return zero, &RunError{Index: index, Deadline: true}
+		return zero, nil, &RunError{Index: index, Deadline: true}
 	}
 }
 

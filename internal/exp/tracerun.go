@@ -44,6 +44,12 @@ type TraceRunConfig struct {
 	// histograms. Off (the default) leaves the one-pointer-check
 	// disabled path.
 	Journeys bool
+	// Digest attaches a rolling stream digest to the engine
+	// (sim.StreamDigest): an O(1)-memory fingerprint of the executed
+	// event stream, recorded in the manifest and printed by
+	// slowcctrace -digest. Off (the default) is the one-nil-check
+	// disabled path.
+	Digest bool
 }
 
 func (c *TraceRunConfig) fill() {
@@ -70,7 +76,10 @@ type TraceRun struct {
 	// Journeys is the per-hop span recorder (nil unless
 	// TraceRunConfig.Journeys was set).
 	Journeys *journey.Recorder
-	Flows    []Flow
+	// Digest is the event-stream digest (nil unless
+	// TraceRunConfig.Digest was set).
+	Digest *sim.StreamDigest
+	Flows  []Flow
 	// Names are the algorithm names, flow order.
 	Names []string
 
@@ -125,6 +134,10 @@ func NewTraceRun(cfg TraceRunConfig) *TraceRun {
 	}
 	d.ObserveProbes(r.Sampler)
 	r.Sampler.Install(eng)
+	if cfg.Digest {
+		r.Digest = &sim.StreamDigest{}
+		eng.SetStreamDigest(r.Digest)
+	}
 	return r
 }
 
@@ -160,6 +173,10 @@ func (r *TraceRun) Manifest(tool string) *obs.Manifest {
 		r.Journeys.RegisterHistograms(hreg)
 		m.Histograms = hreg.Histograms()
 		m.Config["journeys"] = "true"
+	}
+	if r.Digest != nil {
+		m.Config["stream_digest"] = fmt.Sprintf("%016x", r.Digest.Sum())
+		m.Config["stream_digest_events"] = strconv.FormatUint(r.Digest.Events(), 10)
 	}
 	if r.ran {
 		m.WallTimeS = time.Since(r.started).Seconds()

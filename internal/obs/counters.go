@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
+	"sync"
 
 	"slowcc/internal/netem"
 	"slowcc/internal/sim"
@@ -31,7 +33,15 @@ type Counter struct {
 //	link.<name>.arrivals  link.<name>.drops  link.<name>.departures  link.<name>.bytes
 //	red.<name>.early_drops  red.<name>.forced_drops  red.<name>.marks
 //	pool.gets  pool.puts  pool.reuses  pool.guard_trips
+//
+// Names are canonicalized at registration time (CanonicalMetricName),
+// so every registered name has a deterministic, collision-free
+// projection onto a Prometheus-legal name: the export layer maps '.'
+// and '-' to '_' and prefixes the namespace. Registration and snapshot
+// methods are safe for concurrent use; snapshot iteration order is the
+// sorted name order regardless of registration interleaving.
 type Registry struct {
+	mu       sync.Mutex
 	counters []Counter
 	hists    []namedHist
 }
@@ -48,7 +58,32 @@ func (g *Registry) Register(name string, read func() int64) {
 	if read == nil {
 		return
 	}
+	name = CanonicalMetricName(name)
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.counters = append(g.counters, Counter{Name: name, Read: read})
+}
+
+// CanonicalMetricName maps an arbitrary metric name onto the registry's
+// legal charset: letters, digits, and '_', ':', '.', '-'. Dots separate
+// components and dashes appear inside component names (access-link hop
+// names); both are preserved here, because manifests and TSV artifacts
+// carry these names verbatim, and both map to '_' when the export layer
+// projects a name into Prometheus form. Every other rune becomes '_',
+// so registration — not exposition — is where a name's projection is
+// fixed; an empty name becomes "unnamed".
+func CanonicalMetricName(name string) string {
+	if name == "" {
+		return "unnamed"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == ':', r == '.', r == '-':
+			return r
+		}
+		return '_'
+	}, name)
 }
 
 // RegisterHistogram adds one named histogram. Like counters, the
@@ -60,12 +95,17 @@ func (g *Registry) RegisterHistogram(name string, h *Histogram) {
 	if h == nil {
 		return
 	}
+	name = CanonicalMetricName(name)
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.hists = append(g.hists, namedHist{name: name, h: h})
 }
 
 // Histograms snapshots every registered histogram into a name->summary
 // map. Empty histograms are kept: a zero count is itself a finding.
 func (g *Registry) Histograms() map[string]HistSummary {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if len(g.hists) == 0 {
 		return nil
 	}
@@ -73,6 +113,36 @@ func (g *Registry) Histograms() map[string]HistSummary {
 	for _, nh := range g.hists {
 		out[nh.name] = nh.h.Summary()
 	}
+	return out
+}
+
+// HistSnapshot is one registered histogram captured by value: the full
+// bucket array travels with the name, so cumulative exposition
+// (Histogram.CumBuckets) and merging across sweep cells work on a
+// stable copy while the owner keeps recording.
+type HistSnapshot struct {
+	Name string
+	Hist Histogram
+}
+
+// SnapshotHistograms captures every registered histogram by value,
+// sorted by name. Duplicate names keep the last registration, matching
+// Snapshot's counter semantics.
+func (g *Registry) SnapshotHistograms() []HistSnapshot {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.hists) == 0 {
+		return nil
+	}
+	byName := make(map[string]*Histogram, len(g.hists))
+	for _, nh := range g.hists {
+		byName[nh.name] = nh.h
+	}
+	out := make([]HistSnapshot, 0, len(byName))
+	for name, h := range byName {
+		out = append(out, HistSnapshot{Name: name, Hist: *h})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
@@ -133,8 +203,11 @@ func (g *Registry) AddPool(pp *netem.PacketPool) {
 	})
 }
 
-// Snapshot reads every counter into a name->value map.
+// Snapshot reads every counter into a name->value map. Duplicate names
+// keep the last registration.
 func (g *Registry) Snapshot() map[string]int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	out := make(map[string]int64, len(g.counters))
 	for _, c := range g.counters {
 		out[c.Name] = c.Read()

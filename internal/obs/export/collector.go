@@ -1,0 +1,124 @@
+package export
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"slowcc/internal/obs"
+)
+
+// Collector merges per-cell telemetry snapshots (obs.CellStats) from a
+// supervised sweep into one scrapeable state: counters sum, histograms
+// merge bucket-wise, stream digests combine by XOR (order-independent,
+// so the merged value is deterministic however the worker pool
+// interleaves cells), and ad-hoc gauges overwrite. All methods are safe
+// for concurrent use; a scrape never touches a live engine because
+// cells snapshot on their worker goroutine after their engines finish.
+type Collector struct {
+	mu           sync.Mutex
+	counters     map[string]int64
+	hists        map[string]*obs.Histogram
+	gauges       map[string]float64
+	digest       uint64
+	digestEvents uint64
+	events       uint64
+	cells        int64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		counters: map[string]int64{},
+		hists:    map[string]*obs.Histogram{},
+		gauges:   map[string]float64{},
+	}
+}
+
+// AddCellStats merges one finished cell's snapshots. Histograms with a
+// resolution floor unlike the one already merged under the same name
+// replace it (merging mismatched geometries would misbucket).
+func (c *Collector) AddCellStats(st obs.CellStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cells++
+	c.digest ^= st.Digest
+	c.digestEvents += st.DigestEvents
+	c.events += st.Events
+	for name, v := range st.Counters {
+		c.counters[name] += v
+	}
+	for i := range st.Hists {
+		name, h := st.Hists[i].Name, &st.Hists[i].Hist
+		if have, ok := c.hists[name]; ok && have.Lo == h.Lo {
+			have.Merge(h)
+			continue
+		}
+		cp := *h
+		c.hists[name] = &cp
+	}
+}
+
+// SetGauge publishes one gauge value (last write wins).
+func (c *Collector) SetGauge(name string, v float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gauges[obs.CanonicalMetricName(name)] = v
+}
+
+// Digest returns the XOR-combined stream digest and the event count it
+// covers.
+func (c *Collector) Digest() (sum uint64, events uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.digest, c.digestEvents
+}
+
+// Cells returns how many cell snapshots have been merged.
+func (c *Collector) Cells() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cells
+}
+
+// WriteMetrics renders the merged state as one exposition document:
+// summed counters, gauges, merged histograms, plus the collector's own
+// meta-metrics — cells observed, engine events, digested events, and
+// the combined stream digest as an info metric (a 64-bit digest does
+// not fit a float64 sample, so it travels as a hex label).
+func (c *Collector) WriteMetrics(w io.Writer) error {
+	c.mu.Lock()
+	counters := make(map[string]int64, len(c.counters))
+	for k, v := range c.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]float64, len(c.gauges))
+	for k, v := range c.gauges {
+		gauges[k] = v
+	}
+	hists := make([]obs.HistSnapshot, 0, len(c.hists))
+	for name, h := range c.hists {
+		hists = append(hists, obs.HistSnapshot{Name: name, Hist: *h})
+	}
+	cells, events := c.cells, c.events
+	digest, digestEvents := c.digest, c.digestEvents
+	c.mu.Unlock()
+
+	sortHistSnapshots(hists)
+	e := newExpoWriter(w)
+	e.counter(PromName("cells_observed_total"), cells)
+	e.counter(PromName("engine_events_total"), int64(events))
+	e.counter(PromName("stream_digest_events_total"), int64(digestEvents))
+	e.info(PromName("stream_digest_info"), [][2]string{
+		{"digest", fmt.Sprintf("%016x", digest)},
+	})
+	e.counterFamilies(counters)
+	e.gaugeFamilies(gauges)
+	e.histogramFamilies(hists)
+	return e.flush()
+}
+
+func sortHistSnapshots(hists []obs.HistSnapshot) {
+	sort.Slice(hists, func(i, j int) bool { return hists[i].Name < hists[j].Name })
+}

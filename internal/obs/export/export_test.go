@@ -1,0 +1,440 @@
+package export_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"slowcc/internal/exp"
+	"slowcc/internal/obs"
+	"slowcc/internal/obs/export"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// shortTraceRun is the real run behind the golden: deterministic seed,
+// probes and journeys on, so the exposition exercises counters, gauges,
+// and cumulative histograms together.
+func shortTraceRun() *exp.TraceRun {
+	r := exp.NewTraceRun(exp.TraceRunConfig{
+		Seed:          1,
+		Duration:      5,
+		ProbeInterval: 0.5,
+		Journeys:      true,
+		Digest:        true,
+		Algos:         []exp.AlgoSpec{exp.TCPAlgo(0.5)},
+	})
+	r.Run()
+	return r
+}
+
+// The exposition of a real short run must be byte-stable (the golden)
+// and valid under the strict parser.
+func TestWritePrometheusGoldenFromRealRun(t *testing.T) {
+	r := shortTraceRun()
+	// Journey histograms register only after the run (per-flow RTT series
+	// are discovered while packets fly).
+	r.Journeys.Finalize()
+	r.Journeys.RegisterHistograms(r.Registry)
+
+	var buf bytes.Buffer
+	if err := export.WritePrometheus(&buf, r.Registry, r.Sampler); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace.prom")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition differs from golden %s (re-run with -update if intended).\ngot:\n%s", golden, buf.String())
+	}
+	fams, samples, err := export.Validate(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("strict parse of own output: %v", err)
+	}
+	if fams == 0 || samples == 0 {
+		t.Fatalf("empty exposition: %d families, %d samples", fams, samples)
+	}
+	parsed, err := export.ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"slowcc_engine_fired",            // registry counter
+		"slowcc_link_lr_departures",      // bottleneck counter
+		"slowcc_flow1_TCP_1_2__cwnd",     // probe gauge ("flow1.TCP(1/2)" projected)
+		"slowcc_journey_lr_queue_delay",  // journey histogram
+	} {
+		if parsed[name] == nil {
+			t.Errorf("family %s missing from exposition", name)
+		}
+	}
+	if got := parsed["slowcc_journey_lr_queue_delay"]; got != nil && got.Type != "histogram" {
+		t.Errorf("journey family type %q, want histogram", got.Type)
+	}
+}
+
+// WriteManifest must render a sealed manifest as a valid document with
+// summaries and the run info metric.
+func TestWriteManifestExposition(t *testing.T) {
+	r := shortTraceRun()
+	m := r.Manifest("slowcctrace")
+	m.Seal()
+	var buf bytes.Buffer
+	if err := export.WriteManifest(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := export.ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("manifest exposition invalid: %v\n%s", err, buf.String())
+	}
+	info := fams["slowcc_run_info"]
+	if info == nil || len(info.Samples) != 1 || info.Samples[0].Labels["digest"] != m.Digest {
+		t.Fatalf("run_info missing or digest label wrong: %+v", info)
+	}
+	found := false
+	for name, fam := range fams {
+		if fam.Type == "summary" && strings.HasPrefix(name, "slowcc_journey_") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no journey summaries in manifest exposition")
+	}
+}
+
+func TestStrictParserRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"orphan sample":   "foo 1\n",
+		"bad name":        "# TYPE 1bad counter\n1bad 1\n",
+		"bad type":        "# TYPE foo widget\nfoo 1\n",
+		"duplicate type":  "# TYPE foo counter\n# TYPE foo counter\nfoo 1\n",
+		"duplicate series": "# TYPE foo counter\nfoo 1\nfoo 2\n",
+		"bad value":       "# TYPE foo counter\nfoo one\n",
+		"unclosed labels": "# TYPE foo counter\nfoo{a=\"b\" 1\n",
+		"missing +Inf":    "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"inf != count":    "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 1\n",
+		"not cumulative":  "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"gauge bucket":    "# TYPE g gauge\ng_bucket{le=\"1\"} 1\n",
+	}
+	for name, doc := range cases {
+		if _, err := export.ParseText(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: parsed without error:\n%s", name, doc)
+		}
+	}
+	ok := "# TYPE foo counter\nfoo 1\n# TYPE g gauge\ng{x=\"y\"} 2.5\n" +
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_sum 4.5\nh_count 3\n"
+	if _, err := export.ParseText(strings.NewReader(ok)); err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+}
+
+func TestPromNameProjection(t *testing.T) {
+	cases := map[string]string{
+		"engine.scheduled":                  "slowcc_engine_scheduled",
+		"journey.access-1-lr-in.drop_burst": "slowcc_journey_access_1_lr_in_drop_burst",
+		"slowcc_already_prefixed":           "slowcc_already_prefixed",
+		"weird name":                        "slowcc_weird_name",
+	}
+	for in, want := range cases {
+		if got := export.PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Collector merging: counters sum, histograms merge, digests XOR, and
+// the rendered document stays strictly valid.
+func TestCollectorMerge(t *testing.T) {
+	col := export.NewCollector()
+	h1, h2 := obs.Histogram{}, obs.Histogram{}
+	h1.Record(0.001)
+	h2.Record(0.002)
+	col.AddCellStats(obs.CellStats{
+		Cell: 0, Counters: map[string]int64{"engine.fired": 10},
+		Hists:  []obs.HistSnapshot{{Name: "journey.lr.queue_delay", Hist: h1}},
+		Digest: 0xaaaa, DigestEvents: 10, Events: 10,
+	})
+	col.AddCellStats(obs.CellStats{
+		Cell: 1, Counters: map[string]int64{"engine.fired": 5},
+		Hists:  []obs.HistSnapshot{{Name: "journey.lr.queue_delay", Hist: h2}},
+		Digest: 0x5555, DigestEvents: 5, Events: 5,
+	})
+	if sum, events := col.Digest(); sum != 0xffff || events != 15 {
+		t.Fatalf("digest = %#x over %d events, want 0xffff over 15", sum, events)
+	}
+	var buf bytes.Buffer
+	if err := col.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := export.ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("collector exposition invalid: %v\n%s", err, buf.String())
+	}
+	fired := fams["slowcc_engine_fired"]
+	if fired == nil || fired.Samples[0].Value != 15 {
+		t.Fatalf("merged counter wrong: %+v", fired)
+	}
+	hist := fams["slowcc_journey_lr_queue_delay"]
+	if hist == nil {
+		t.Fatal("merged histogram missing")
+	}
+	var count float64
+	for _, s := range hist.Samples {
+		if s.Name == "slowcc_journey_lr_queue_delay_count" {
+			count = s.Value
+		}
+	}
+	if count != 2 {
+		t.Fatalf("merged histogram count %v, want 2", count)
+	}
+	info := fams["slowcc_stream_digest_info"]
+	if info == nil || info.Samples[0].Labels["digest"] != fmt.Sprintf("%016x", uint64(0xffff)) {
+		t.Fatalf("digest info metric wrong: %+v", info)
+	}
+}
+
+// sseEvents GETs /progress and decodes the SSE stream into events.
+func sseEvents(t *testing.T, url string) []obs.SweepEvent {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	var out []obs.SweepEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if data, ok := strings.CutPrefix(line, "data: "); ok {
+			var ev obs.SweepEvent
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				t.Fatalf("bad SSE data %q: %v", data, err)
+			}
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// The server must replay buffered progress events over SSE in order,
+// serve valid /metrics, and flip /healthz to 503 once a cell degrades.
+func TestServerProgressSSEAndHealth(t *testing.T) {
+	col := export.NewCollector()
+	hub := export.NewProgress(col)
+	hub.SetRun("cafebabe")
+	srv := export.NewServer(col, hub)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + addr
+
+	// A two-cell sweep: cell 0 succeeds after a retry (with a budget
+	// halt), cell 1 degrades.
+	seq := []obs.SweepEvent{
+		{Kind: obs.SweepQueued, Cell: 0, Worker: 0, AtMS: 1},
+		{Kind: obs.SweepRunning, Cell: 0, Worker: 0, AtMS: 2},
+		{Kind: obs.SweepQueued, Cell: 1, Worker: 1, AtMS: 2},
+		{Kind: obs.SweepRunning, Cell: 1, Worker: 1, AtMS: 3},
+		{Kind: obs.SweepRetry, Cell: 0, Attempt: 1, Worker: 0, AtMS: 5},
+		{Kind: obs.SweepDone, Cell: 0, Attempt: 1, Worker: 0, Outcome: "ok", Halt: "events budget", AtMS: 9, DurMS: 4},
+	}
+	for _, ev := range seq {
+		hub.SweepEvent(ev)
+	}
+
+	// Health is still ok: a budget halt is a bound, not a failure.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h export.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healthz = %d %q, want 200 ok", resp.StatusCode, h.Status)
+	}
+	if h.Sweep.Halted != 1 || h.Sweep.Run != "cafebabe" {
+		t.Fatalf("healthz sweep state wrong: %+v", h.Sweep)
+	}
+
+	hub.SweepEvent(obs.SweepEvent{Kind: obs.SweepDegraded, Cell: 1, Attempt: 1, Worker: 1, Outcome: "panic", AtMS: 11})
+
+	got := sseEvents(t, base+"/progress?replay=close")
+	if len(got) != len(seq)+1 {
+		t.Fatalf("replayed %d events, want %d", len(got), len(seq)+1)
+	}
+	for i, ev := range seq {
+		if got[i] != ev {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], ev)
+		}
+	}
+	if last := got[len(got)-1]; last.Kind != obs.SweepDegraded || last.Outcome != "panic" {
+		t.Fatalf("terminal event %+v, want degraded/panic", last)
+	}
+
+	// Degraded flips health to 503.
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || h.Status != "degraded" {
+		t.Fatalf("healthz after degraded = %d %q, want 503 degraded", resp.StatusCode, h.Status)
+	}
+
+	// /metrics must be strictly valid and carry the sweep counters.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	fams, err := export.ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("/metrics invalid: %v\n%s", err, buf.String())
+	}
+	checks := map[string]float64{
+		"slowcc_sweep_cells_queued_total":   2,
+		"slowcc_sweep_cells_done_total":     1,
+		"slowcc_sweep_cell_retries_total":   1,
+		"slowcc_sweep_cells_degraded_total": 1,
+		"slowcc_sweep_cells_halted_total":   1,
+		"slowcc_sweep_cells_running":        0,
+	}
+	for name, want := range checks {
+		fam := fams[name]
+		if fam == nil || len(fam.Samples) != 1 || fam.Samples[0].Value != want {
+			t.Errorf("%s = %+v, want single sample %v", name, fam, want)
+		}
+	}
+}
+
+// A live subscriber must receive events published after it connected.
+func TestServerProgressSSELive(t *testing.T) {
+	hub := export.NewProgress(nil)
+	srv := export.NewServer(nil, hub)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + addr + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		hub.SweepEvent(obs.SweepEvent{Kind: obs.SweepQueued, Cell: 7, AtMS: 1})
+	}()
+	sc := bufio.NewScanner(resp.Body)
+	deadline := time.After(5 * time.Second)
+	done := make(chan obs.SweepEvent, 1)
+	go func() {
+		for sc.Scan() {
+			if data, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+				var ev obs.SweepEvent
+				if json.Unmarshal([]byte(data), &ev) == nil {
+					done <- ev
+					return
+				}
+			}
+		}
+	}()
+	select {
+	case ev := <-done:
+		if ev.Kind != obs.SweepQueued || ev.Cell != 7 {
+			t.Fatalf("live event %+v", ev)
+		}
+	case <-deadline:
+		t.Fatal("no live SSE event within 5s")
+	}
+}
+
+// Scrape-while-sweeping: hammer /metrics and /healthz while sweep
+// events and cell stats pour in. Run under -race in ci; correctness
+// here is "no race, no parse error".
+func TestConcurrentScrapeWhileSweeping(t *testing.T) {
+	col := export.NewCollector()
+	hub := export.NewProgress(col)
+	srv := export.NewServer(col, hub)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + addr
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := obs.Histogram{}
+			h.Record(0.001)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cell := w*1000 + i
+				hub.SweepEvent(obs.SweepEvent{Kind: obs.SweepQueued, Cell: cell})
+				hub.SweepEvent(obs.SweepEvent{Kind: obs.SweepRunning, Cell: cell})
+				hub.CellStats(obs.CellStats{
+					Cell: cell, Counters: map[string]int64{"engine.fired": 1},
+					Hists:  []obs.HistSnapshot{{Name: "journey.lr.queue_delay", Hist: h}},
+					Digest: uint64(cell), DigestEvents: 1, Events: 1,
+				})
+				hub.SweepEvent(obs.SweepEvent{Kind: obs.SweepDone, Cell: cell, Outcome: "ok", DurMS: 1})
+			}
+		}(w)
+	}
+	for i := 0; i < 20; i++ {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if _, parseErr := export.ParseText(bytes.NewReader(buf.Bytes())); parseErr != nil {
+			t.Fatalf("scrape %d invalid: %v", i, parseErr)
+		}
+		if resp, err = http.Get(base + "/healthz"); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,183 @@
+package export
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"slowcc/internal/obs"
+)
+
+// contentTypeProm is the text-exposition v0.0.4 content type.
+const contentTypeProm = "text/plain; version=0.0.4; charset=utf-8"
+
+// Health is the /healthz document. Status is "ok" while no cell has
+// degraded, "degraded" afterwards (HTTP 503): a sweep that lost cells
+// needs operator attention even though it kept running — the same
+// contract as slowccsim -fail-degraded, but live. Budget-halted cells
+// are reported (engines stopped by -max-events / -deadline) without
+// failing health: a halt is a configured bound, not a malfunction.
+type Health struct {
+	Status  string         `json:"status"`
+	UptimeS float64        `json:"uptime_s"`
+	Sweep   ProgressCounts `json:"sweep"`
+}
+
+// Server mounts the live telemetry surface over a collector and a
+// progress hub:
+//
+//	/metrics        Prometheus text exposition (collector + sweep hub)
+//	/healthz        JSON health, 503 once any cell degraded
+//	/progress       SSE stream of per-cell sweep events ("event: sweep");
+//	                ?replay=close dumps buffered events and closes (CI)
+//	/debug/pprof/*  the standard profile handlers
+//
+// It is embeddable: Handler() for callers with their own mux (the
+// slowccd service), Start/Close for the slowccsim -serve path.
+type Server struct {
+	C *Collector
+	P *Progress
+
+	mux *http.ServeMux
+	hs  *http.Server
+	ln  net.Listener
+	t0  time.Time
+}
+
+// NewServer wires a server over c and p (either may be nil; the
+// corresponding endpoints then serve empty documents).
+func NewServer(c *Collector, p *Progress) *Server {
+	s := &Server{C: c, P: p, mux: http.NewServeMux(), t0: time.Now()}
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/progress", s.handleProgress)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the server's mux for embedding under another server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (":0" picks a free port) and serves in the
+// background, returning the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.hs = &http.Server{Handler: s.mux}
+	go s.hs.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return ln.Addr().String(), nil
+}
+
+// Close shuts the server down, abandoning live SSE streams after a
+// short grace period.
+func (s *Server) Close() error {
+	if s.hs == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := s.hs.Shutdown(ctx)
+	if err == context.DeadlineExceeded {
+		err = s.hs.Close()
+	}
+	return err
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", contentTypeProm)
+	if s.C != nil {
+		if err := s.C.WriteMetrics(w); err != nil {
+			return
+		}
+	}
+	if s.P != nil {
+		s.P.WriteMetrics(w) //nolint:errcheck // client gone; nothing to do
+	}
+}
+
+// health builds the current Health document.
+func (s *Server) health() Health {
+	h := Health{Status: "ok", UptimeS: time.Since(s.t0).Seconds()}
+	if s.P != nil {
+		h.Sweep = s.P.Counts()
+		if h.Sweep.Degraded > 0 {
+			h.Status = "degraded"
+		}
+	}
+	return h
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.health()
+	w.Header().Set("Content-Type", "application/json")
+	if h.Status != "ok" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(h) //nolint:errcheck // best-effort body
+}
+
+// handleProgress streams sweep events as server-sent events: one
+// "event: sweep" block per obs.SweepEvent with a JSON data payload,
+// buffered history first, then live until the client disconnects. With
+// ?replay=close the handler stops after the buffered history — the
+// curl-friendly form the ci smoke uses.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	if s.P == nil {
+		http.Error(w, "no sweep hub", http.StatusNotFound)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	replay, ch, cancel := s.P.Subscribe()
+	defer cancel()
+	seq := 0
+	emit := func(ev obs.SweepEvent) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		seq++
+		_, err = fmt.Fprintf(w, "id: %d\nevent: sweep\ndata: %s\n\n", seq, data)
+		return err == nil
+	}
+	for _, ev := range replay {
+		if !emit(ev) {
+			return
+		}
+	}
+	fl.Flush()
+	if r.URL.Query().Get("replay") == "close" {
+		return
+	}
+	for {
+		select {
+		case ev := <-ch:
+			if !emit(ev) {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -137,6 +137,38 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.max
 }
 
+// HistBucket is one cumulative bucket of an exported histogram: Count
+// observations were <= the inclusive upper edge Le.
+type HistBucket struct {
+	Le    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// CumBuckets returns the histogram's cumulative bucket counts with
+// their upper edges — the bounds Histograms()/HistSummary never carried
+// — in ascending Le order, one entry per occupied bucket (cumulative
+// counts are unchanged by omitting empty buckets). Two caveats the
+// exposition layer must honor: values beyond the top bucket clamp into
+// it, so the final entry's Count equals Count() even though Max() may
+// exceed its Le — render the +Inf bucket from Count(); and values below
+// the resolution floor clamp into the first bucket. An empty histogram
+// returns nil.
+func (h *Histogram) CumBuckets() []HistBucket {
+	if h.n == 0 {
+		return nil
+	}
+	var out []HistBucket
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		if h.counts[i] == 0 {
+			continue
+		}
+		cum += h.counts[i]
+		out = append(out, HistBucket{Le: h.bucketUpper(i), Count: cum})
+	}
+	return out
+}
+
 // Merge adds o's observations into h. Both histograms must share the
 // same resolution floor; merging mismatched geometries would silently
 // misbucket, so it panics instead.

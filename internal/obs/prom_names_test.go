@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestCanonicalMetricName(t *testing.T) {
+	cases := map[string]string{
+		"engine.scheduled":                  "engine.scheduled", // existing names pass through
+		"journey.access-1-lr-in.drop_burst": "journey.access-1-lr-in.drop_burst",
+		"link.lr.bytes":                     "link.lr.bytes",
+		"ns:sub.metric":                     "ns:sub.metric",
+		"bad name/with weird*runes":         "bad_name_with_weird_runes",
+		"":                                  "unnamed",
+	}
+	for in, want := range cases {
+		if got := CanonicalMetricName(in); got != want {
+			t.Errorf("CanonicalMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRegisterCanonicalizesNames(t *testing.T) {
+	var g Registry
+	v := int64(7)
+	g.Register("weird name", func() int64 { return v })
+	g.RegisterHistogram("weird hist", &Histogram{})
+	if _, ok := g.Snapshot()["weird_name"]; !ok {
+		t.Fatalf("counter registered under %v, want canonical weird_name", g.Snapshot())
+	}
+	if _, ok := g.Histograms()["weird_hist"]; !ok {
+		t.Fatalf("histogram registered under %v, want canonical weird_hist", g.Histograms())
+	}
+}
+
+// SnapshotHistograms must copy by value (later records don't leak into
+// the snapshot), sort by name, and keep the last duplicate — the same
+// semantics Snapshot gives counters.
+func TestSnapshotHistograms(t *testing.T) {
+	var g Registry
+	a, b, b2 := &Histogram{}, &Histogram{}, &Histogram{}
+	a.Record(1)
+	b.Record(2)
+	b2.Record(3)
+	b2.Record(4)
+	g.RegisterHistogram("z.second", b)
+	g.RegisterHistogram("a.first", a)
+	g.RegisterHistogram("z.second", b2) // duplicate: last wins
+	snaps := g.SnapshotHistograms()
+	if len(snaps) != 2 || snaps[0].Name != "a.first" || snaps[1].Name != "z.second" {
+		t.Fatalf("snapshot names/order wrong: %+v", snaps)
+	}
+	if snaps[1].Hist.Count() != 2 {
+		t.Fatalf("duplicate name kept count %d, want last registration's 2", snaps[1].Hist.Count())
+	}
+	a.Record(10) // owner keeps recording; the snapshot must not move
+	if snaps[0].Hist.Count() != 1 {
+		t.Fatalf("snapshot aliased the live histogram: count %d", snaps[0].Hist.Count())
+	}
+}
+
+// Registration from concurrent sweep workers must not race with
+// snapshots, and iteration must stay deterministic (sorted) regardless
+// of interleaving. Run under -race in ci.
+func TestRegistryConcurrentRegistration(t *testing.T) {
+	var g Registry
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				g.Register("c", func() int64 { return 1 })
+				g.RegisterHistogram("h", &Histogram{})
+				g.Snapshot()
+				g.SnapshotHistograms()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if len(g.Snapshot()) != 1 || len(g.SnapshotHistograms()) != 1 {
+		t.Fatalf("dedup lost: %d counters, %d hists", len(g.Snapshot()), len(g.SnapshotHistograms()))
+	}
+}
+
+// The bucket bounds CumBuckets exposes must round-trip: a quantile
+// recomputed from (Le, cumulative count) pairs has to agree with the
+// Histogram's own Quantile for any distribution that stays inside the
+// bucket range.
+func TestCumBucketsQuantileRoundTrip(t *testing.T) {
+	h := &Histogram{}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		h.Record(math.Exp(rng.NormFloat64()) * 1e-3) // lognormal around 1ms
+	}
+	buckets := h.CumBuckets()
+	if len(buckets) == 0 {
+		t.Fatal("no buckets for a populated histogram")
+	}
+	last := buckets[len(buckets)-1]
+	if last.Count != h.Count() {
+		t.Fatalf("final cumulative count %d != Count() %d", last.Count, h.Count())
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].Le <= buckets[i-1].Le || buckets[i].Count < buckets[i-1].Count {
+			t.Fatalf("bucket %d not monotonic: %+v after %+v", i, buckets[i], buckets[i-1])
+		}
+	}
+	fromBuckets := func(q float64) float64 {
+		rank := int64(math.Ceil(q * float64(h.Count())))
+		if rank < 1 {
+			rank = 1
+		}
+		for _, b := range buckets {
+			if b.Count >= rank {
+				if b.Le > h.Max() {
+					return h.Max()
+				}
+				return b.Le
+			}
+		}
+		return h.Max()
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		if got, want := fromBuckets(q), h.Quantile(q); got != want {
+			t.Errorf("q=%v: bucket-reconstructed %v != Quantile %v", q, got, want)
+		}
+	}
+	if (&Histogram{}).CumBuckets() != nil {
+		t.Fatal("empty histogram should expose no buckets")
+	}
+}

@@ -170,7 +170,11 @@ type Engine struct {
 	rng    *rand.Rand
 	nsteps uint64
 	audit  AuditHook
-	probe  ProbeHook // second hook slot: sampling, never validation
+	// dig, when non-nil, folds every executed event into a rolling
+	// FNV-1a stream digest (see StreamDigest). Third hook slot, same
+	// discipline as audit: one nil check per event when absent.
+	dig   *StreamDigest
+	probe ProbeHook // second hook slot: sampling, never validation
 	// probeAt is the probe hook's requested wake time: events strictly
 	// before it skip the hook with one comparison. +Inf when no probe is
 	// installed (or the installed one asked never to be called again).
@@ -478,6 +482,9 @@ func (e *Engine) exec(tm *Timer) {
 	e.nsteps++
 	if e.audit != nil {
 		e.audit.OnEvent(prev, tm.at, tm.seq)
+	}
+	if e.dig != nil {
+		e.dig.fold(prev, tm.at, tm.seq)
 	}
 	if tm.at >= e.probeAt {
 		e.probeAt = e.probe.OnEvent(prev, tm.at, tm.seq)

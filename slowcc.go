@@ -36,12 +36,14 @@ package slowcc
 
 import (
 	"io"
+	"log/slog"
 
 	"slowcc/internal/exp"
 	"slowcc/internal/faults"
 	"slowcc/internal/metrics"
 	"slowcc/internal/netem"
 	"slowcc/internal/obs"
+	"slowcc/internal/obs/export"
 	"slowcc/internal/obs/journey"
 	"slowcc/internal/obs/probe"
 	"slowcc/internal/sim"
@@ -413,3 +415,70 @@ func RenderMatrixHeatmapSVG(cells []MatrixCell, metric string) (string, error) {
 
 // MatrixMetrics lists the metrics heatmaps can shade.
 func MatrixMetrics() []string { return exp.MatrixMetrics() }
+
+// Live telemetry export (internal/obs/export; see DESIGN.md §14):
+// Prometheus text exposition of counters, histograms, and probe gauges,
+// an embeddable HTTP server with /metrics, /healthz, an SSE sweep
+// progress feed, and pprof, and a rolling digest over the engine's
+// executed event stream.
+
+// StreamDigest is a zero-allocation rolling FNV-1a fingerprint of an
+// engine's executed event stream: attach with Engine.SetStreamDigest
+// (one nil check per event when absent) and compare Sum() across runs —
+// equal digests mean the identical event sequence executed in the
+// identical order.
+type StreamDigest = sim.StreamDigest
+
+// ExportServer serves live run telemetry over HTTP: /metrics
+// (Prometheus text exposition v0.0.4), /healthz, /progress (SSE sweep
+// cell events), and /debug/pprof. slowccsim -serve wraps it.
+type ExportServer = export.Server
+
+// ExportCollector merges per-cell telemetry snapshots (counters,
+// histograms, stream digests) into the run-wide families /metrics
+// exposes.
+type ExportCollector = export.Collector
+
+// ExportProgress fans sweep cell lifecycle events out to SSE
+// subscribers and keeps the queued/running/done/degraded counts
+// /healthz reports.
+type ExportProgress = export.Progress
+
+// NewExportServer wires the full export stack — collector, progress
+// sink, HTTP server — and installs the progress sink into supervised
+// sweeps. Call Start on the returned server, and SetSweepProgress(nil)
+// to detach the sink when done.
+func NewExportServer() (*ExportServer, *ExportCollector, *ExportProgress) {
+	col := export.NewCollector()
+	prog := export.NewProgress(col)
+	exp.SetSweepProgress(prog)
+	return export.NewServer(col, prog), col, prog
+}
+
+// SetSweepProgress installs a sink receiving supervised-sweep lifecycle
+// events and per-cell telemetry snapshots (or nil to remove it);
+// returns the previous sink. ExportProgress implements the interface.
+func SetSweepProgress(sink obs.SweepSink) (prev obs.SweepSink) { return exp.SetSweepProgress(sink) }
+
+// SetSweepLogger installs a structured logger that supervised sweeps
+// emit per-attempt records into (or nil to remove it); returns the
+// previous logger.
+func SetSweepLogger(l *slog.Logger) (prev *slog.Logger) { return exp.SetSweepLogger(l) }
+
+// WritePrometheus renders a counter registry and an optional probe
+// sampler as Prometheus text exposition format v0.0.4.
+func WritePrometheus(w io.Writer, reg *CounterRegistry, s *Sampler) error {
+	return export.WritePrometheus(w, reg, s)
+}
+
+// WriteManifestPrometheus renders a sealed run manifest — counters,
+// histogram summaries, run metadata — as Prometheus text exposition,
+// the cmd/slowccreport -prom path.
+func WriteManifestPrometheus(w io.Writer, m *Manifest) error { return export.WriteManifest(w, m) }
+
+// ValidatePrometheus strictly parses Prometheus text exposition format,
+// returning the family and sample counts; any type/grammar/duplicate
+// violation is an error. CI uses it to gate scraped /metrics output.
+func ValidatePrometheus(r io.Reader) (families, samples int, err error) {
+	return export.Validate(r)
+}
