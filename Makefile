@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke bench-json report-smoke fuzz-smoke matrix-smoke timeline-smoke queue-smoke export-smoke
+.PHONY: ci vet build test race bench bench-smoke bench-json report-smoke fuzz-smoke matrix-smoke timeline-smoke queue-smoke export-smoke resume-smoke
 
 # ci is the gate future PRs run: static checks, a full build, the
 # complete test suite under the race detector, and a single-iteration
@@ -10,7 +10,7 @@ GO ?= go
 # so packet-accounting regressions fail here even when no figure-level
 # assertion notices them; -race additionally exercises parallelMap's
 # worker pool.
-ci: vet build race bench-smoke queue-smoke report-smoke matrix-smoke timeline-smoke export-smoke fuzz-smoke
+ci: vet build race bench-smoke queue-smoke report-smoke matrix-smoke timeline-smoke export-smoke resume-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -88,12 +88,15 @@ timeline-smoke:
 # replay, checks a sweep event arrived, shuts the server down with
 # SIGTERM (which must exit cleanly), and strict-validates the scraped
 # exposition with slowccreport -prom-verify — so a /metrics stream any
-# Prometheus scraper would reject fails ci here.
+# Prometheus scraper would reject fails ci here. The run carries a
+# result store so the slowcc_store_{hits,misses,corrupt} counters are
+# exercised and validated on the same scrape.
 export-smoke:
 	rm -rf .export-smoke && mkdir -p .export-smoke
 	$(GO) build -o .export-smoke/slowccsim ./cmd/slowccsim
 	set -e; \
 	.export-smoke/slowccsim -exp fig3 -serve 127.0.0.1:0 -slog warn \
+		-store .export-smoke/store \
 		> .export-smoke/out.txt 2> .export-smoke/err.txt & \
 	pid=$$!; \
 	trap 'kill $$pid 2>/dev/null || true' EXIT; \
@@ -113,11 +116,46 @@ export-smoke:
 	grep -q '^event: sweep' .export-smoke/progress.sse; \
 	grep -q '^slowcc_sweep_cells_done_total' .export-smoke/metrics.prom; \
 	grep -q '^slowcc_stream_digest_info' .export-smoke/metrics.prom; \
+	grep -q '^slowcc_store_hits' .export-smoke/metrics.prom; \
+	grep -q '^slowcc_store_misses' .export-smoke/metrics.prom; \
+	grep -q '^slowcc_store_corrupt' .export-smoke/metrics.prom; \
 	trap - EXIT; \
 	kill -TERM $$pid; \
 	wait $$pid
 	$(GO) run ./cmd/slowccreport -prom-verify .export-smoke/metrics.prom
 	rm -rf .export-smoke
+
+# resume-smoke is the crash-safety gate: a real matrix sweep is
+# SIGKILLed mid-flight (no graceful handler, no checkpoint — the
+# per-entry fsync'd journal is all that survives), then resumed with
+# -store -resume, which must serve the already-committed cells from the
+# store (hits >= 1 asserted from the summary line) and recompute only
+# the rest. The resumed TSV artifact must be byte-identical to an
+# uninterrupted same-seed run's — the end-to-end proof that replayed
+# cells are indistinguishable from computed ones.
+resume-smoke:
+	rm -rf .resume-smoke && mkdir -p .resume-smoke
+	$(GO) build -o .resume-smoke/slowccsim ./cmd/slowccsim
+	.resume-smoke/slowccsim -exp matrix -matrix 'tcp:0.5,tfrc:8,cbr:3e6' \
+		-tsv .resume-smoke/full.tsv > /dev/null
+	set -e; \
+	.resume-smoke/slowccsim -exp matrix -matrix 'tcp:0.5,tfrc:8,cbr:3e6' \
+		-store .resume-smoke/store -tsv .resume-smoke/killed.tsv \
+		> /dev/null 2>&1 & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do \
+		[ -s .resume-smoke/store/journal.bin ] && break; sleep 0.1; \
+	done; \
+	[ -s .resume-smoke/store/journal.bin ] || { echo "resume-smoke: no cell committed before the kill" >&2; exit 1; }; \
+	kill -9 $$pid; \
+	wait $$pid 2>/dev/null || true; \
+	.resume-smoke/slowccsim -exp matrix -matrix 'tcp:0.5,tfrc:8,cbr:3e6' \
+		-store .resume-smoke/store -resume -tsv .resume-smoke/resumed.tsv \
+		> /dev/null 2> .resume-smoke/resume-err.txt; \
+	grep -E '^store .*: [0-9]+ entries, [1-9][0-9]* hits' .resume-smoke/resume-err.txt || \
+		{ echo "resume-smoke: resume served no cells from the store" >&2; cat .resume-smoke/resume-err.txt >&2; exit 1; }
+	cmp .resume-smoke/full.tsv .resume-smoke/resumed.tsv
+	rm -rf .resume-smoke
 
 # fuzz-smoke gives each parser fuzz target a few seconds of coverage-
 # guided input on every ci run — long enough to re-find shallow

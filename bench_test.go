@@ -462,6 +462,48 @@ func BenchmarkEnginePacketsPerSecondExportOff(b *testing.B) {
 	}
 }
 
+// BenchmarkEnginePacketsPerSecondStoreOff is the macro scenario with
+// the durable result store wired but idle: a store is open and
+// registered as the sweep replay source — the configuration every
+// slowccsim -store run executes — while the engine runs a scenario
+// that commits no cell. The store is consulted per sweep cell, never
+// per event, so the hot path must not observe it at all; the final
+// check proves the run neither read nor wrote the store. The
+// cmd/slowccbench store gate pairs this against the plain variant from
+// the same run and fails on more than 2% slowdown, any extra
+// allocations over the PR 2 record, or any event-count drift —
+// "crash-safe persistence costs nothing when no cell commits" stated
+// as a regression check.
+func BenchmarkEnginePacketsPerSecondStoreOff(b *testing.B) {
+	st, err := slowcc.OpenStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	prev := slowcc.SetSweepStore(st, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := slowcc.NewEngine(int64(i + 1))
+		d := slowcc.NewDumbbell(eng, slowcc.DumbbellConfig{Rate: 10e6, Seed: int64(i + 1)})
+		f1 := slowcc.TCP(0.5).Make(eng, d, 1)
+		f2 := slowcc.TCP(0.5).Make(eng, d, 2)
+		eng.At(0, f1.Sender.Start)
+		eng.At(0, f2.Sender.Start)
+		eng.RunUntil(30)
+		b.ReportMetric(float64(eng.Steps()), "events")
+	}
+	// Teardown stays outside the timed window; the harness's final
+	// StopTimer is a no-op on an already-stopped timer.
+	b.StopTimer()
+	if st.Len() != 0 || st.Hits() != 0 || st.Misses() != 0 {
+		b.Fatalf("idle store was touched: %d entries, %d hits, %d misses",
+			st.Len(), st.Hits(), st.Misses())
+	}
+	slowcc.SetSweepStore(prev, false)
+	if err := st.Close(); err != nil {
+		b.Fatalf("closing the idle store: %v", err)
+	}
+}
+
 // BenchmarkSACKAblation reruns the Figure 5 headline cell with
 // SACK-recovery TCP as the yardstick family, checking the fidelity
 // deviation noted in EXPERIMENTS.md does not change the conclusion.

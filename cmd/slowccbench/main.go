@@ -20,8 +20,11 @@
 // journey hooks wired but disabled via ObserveJourneys(nil)), and
 // export (EnginePacketsPerSecondExportOff — a counter registry observed
 // over the topology with the engine's stream-digest slot explicitly
-// nil, the state slowccsim -serve scrapes) variants are held to the
-// same paired gate.
+// nil, the state slowccsim -serve scrapes), and result-store
+// (EnginePacketsPerSecondStoreOff — an open store registered as the
+// sweep replay source while no cell commits, the configuration every
+// slowccsim -store run executes) variants are held to the same paired
+// gate.
 //
 // The calendar-queue fallback gate pairs the same scenario on the heap
 // queue (EnginePacketsPerSecondCalendarOff): the knob must still
@@ -137,6 +140,7 @@ type report struct {
 	Topo       obsOutcome        `json:"topology_overhead"`
 	Journey    obsOutcome        `json:"journey_overhead"`
 	Export     obsOutcome        `json:"export_overhead"`
+	Store      obsOutcome        `json:"store_overhead"`
 	Calendar   obsOutcome        `json:"calendar_fallback"`
 }
 
@@ -185,7 +189,7 @@ var suites = []struct{ pkg, pattern string }{
 	// invocation as the plain macro-benchmark so the overhead
 	// comparisons are paired: same machine, same load, interleaved by
 	// -count.
-	{".", "EnginePacketsPerSecond$|EnginePacketsPerSecondObsOff|EnginePacketsPerSecondFaultsOff|EnginePacketsPerSecondTopoOff|EnginePacketsPerSecondJourneyOff|EnginePacketsPerSecondExportOff|EnginePacketsPerSecondCalendarOff|TCPFlowSimSecond|TFRCFlowSimSecond"},
+	{".", "EnginePacketsPerSecond$|EnginePacketsPerSecondObsOff|EnginePacketsPerSecondFaultsOff|EnginePacketsPerSecondTopoOff|EnginePacketsPerSecondJourneyOff|EnginePacketsPerSecondExportOff|EnginePacketsPerSecondStoreOff|EnginePacketsPerSecondCalendarOff|TCPFlowSimSecond|TFRCFlowSimSecond"},
 	{"./internal/sim", "EngineEventTurnover"},
 	{"./internal/netem", "LinkForward"},
 }
@@ -261,6 +265,10 @@ func main() {
 			cur.Benchmarks["EnginePacketsPerSecond"],
 			cur.Benchmarks["EnginePacketsPerSecondExportOff"],
 			pr2.Benchmarks["EnginePacketsPerSecond"], g.MaxObsSlowdown, g.MaxObsExtraAllocs),
+		Store: pairedOverhead("EnginePacketsPerSecondStoreOff",
+			cur.Benchmarks["EnginePacketsPerSecond"],
+			cur.Benchmarks["EnginePacketsPerSecondStoreOff"],
+			pr2.Benchmarks["EnginePacketsPerSecond"], g.MaxObsSlowdown, g.MaxObsExtraAllocs),
 		Calendar: pairedOverhead("EnginePacketsPerSecondCalendarOff",
 			cur.Benchmarks["EnginePacketsPerSecond"],
 			cur.Benchmarks["EnginePacketsPerSecondCalendarOff"],
@@ -280,7 +288,7 @@ func main() {
 	t := rep.Trajectory
 	fmt.Printf("%s: speedup %.2fx (gate %.1fx), allocs drop %.2f%% (gate %.0f%%), events identical: %v -> %s\n",
 		t.Benchmark, t.Speedup, g.MinSpeedup, t.AllocsDrop*100, g.MinAllocsDrop*100, t.EventsSame, *out)
-	for _, o := range []obsOutcome{rep.Obs, rep.Faults, rep.Topo, rep.Journey, rep.Export, rep.Calendar} {
+	for _, o := range []obsOutcome{rep.Obs, rep.Faults, rep.Topo, rep.Journey, rep.Export, rep.Store, rep.Calendar} {
 		fmt.Printf("%s: slowdown %.3fx vs plain, extra allocs %+.0f vs pr2, events identical: %v\n",
 			o.Benchmark, o.Slowdown, o.ExtraAllocs, o.EventsSame)
 	}
@@ -302,6 +310,7 @@ func main() {
 		{rep.Topo, "topology overhead"},
 		{rep.Journey, "journey overhead"},
 		{rep.Export, "export overhead"},
+		{rep.Store, "store overhead"},
 		{rep.Calendar, "calendar fallback"},
 	} {
 		if !fail.o.Pass {

@@ -26,7 +26,13 @@
 //	slowccreport -timeline tl.json
 //	slowccreport -prom run1.json                # manifest as Prometheus text
 //	slowccreport -prom-verify metrics.prom      # strict exposition validation
+//	slowccreport -store sweep.store             # inspect a resumable result store
 //
+// -store opens a slowccsim -store directory read-only (no journal
+// repair, nothing written) and lists every committed cell: key, cell
+// index, attempts, result size, recorded telemetry, and — for degraded
+// cells — the failure that was journaled, so an interrupted or
+// partially-degraded sweep can be audited before resuming it.
 // -prom renders manifests in Prometheus text exposition format v0.0.4
 // (the same renderer behind slowccsim -serve's /metrics), so a stored
 // run record can be pushed into any Prometheus-compatible pipeline;
@@ -65,10 +71,15 @@ func main() {
 		timeline   = flag.String("timeline", "", "validate a trace-event JSON timeline and report its event count")
 		prom       = flag.Bool("prom", false, "render the manifests as Prometheus text exposition instead of the comparison table")
 		promVerify = flag.String("prom-verify", "", "strictly validate a Prometheus text exposition file (e.g. a scraped /metrics) and report family/sample counts")
+		storeDir   = flag.String("store", "", "inspect a slowccsim -store result-store directory (read-only): list committed cells, degraded markers, journal damage")
 	)
 	flag.Parse()
 
 	ran := false
+	if *storeDir != "" {
+		ran = true
+		reportStore(*storeDir)
+	}
 	if *promVerify != "" {
 		ran = true
 		f, err := os.Open(*promVerify)
@@ -101,7 +112,7 @@ func main() {
 		if ran {
 			return
 		}
-		fmt.Fprintln(os.Stderr, "usage: slowccreport [-probes probes.tsv]... [-heatmap matrix.tsv] [-timeline tl.json] manifest.json...")
+		fmt.Fprintln(os.Stderr, "usage: slowccreport [-probes probes.tsv]... [-heatmap matrix.tsv] [-timeline tl.json] [-store DIR] manifest.json...")
 		os.Exit(2)
 	}
 
@@ -147,6 +158,46 @@ func main() {
 	}
 
 	fmt.Print(slowcc.RenderReport(manifests, samples))
+}
+
+// reportStore opens a result store read-only and prints one line per
+// committed cell plus a health summary (degraded markers, quarantined
+// journal damage), so a sweep can be audited before resuming.
+func reportStore(dir string) {
+	st, err := slowcc.OpenStoreReadOnly(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer st.Close()
+
+	entries := st.Entries()
+	fmt.Printf("store %s: %d cell(s)\n", dir, len(entries))
+	degraded := 0
+	fmt.Printf("%-16s %5s %8s %9s %7s  %s\n", "key", "cell", "attempts", "result", "events", "status")
+	for _, e := range entries {
+		status := "ok"
+		events := uint64(0)
+		if e.Stats != nil {
+			events = e.Stats.Events
+		}
+		if e.Degraded {
+			degraded++
+			status = "degraded: " + e.Error
+		}
+		key := e.Key
+		if len(key) > 16 {
+			key = key[:16]
+		}
+		fmt.Printf("%-16s %5d %8d %8dB %7d  %s\n", key, e.Index, e.Attempts, len(e.Result), events, status)
+	}
+	if degraded > 0 {
+		fmt.Printf("%d degraded cell(s): resuming with -store %s -resume recomputes them\n", degraded, dir)
+	}
+	if st.TornTail() || st.Corrupt() > 0 {
+		fmt.Printf("journal damage: torn tail %v, %d corrupt entr(ies) quarantined — damaged cells recompute on resume\n",
+			st.TornTail(), st.Corrupt())
+	}
 }
 
 // renderHeatmap reads a matrix TSV artifact and prints its ASCII

@@ -48,7 +48,15 @@ import (
 	"slowcc/internal/obs"
 	"slowcc/internal/obs/export"
 	"slowcc/internal/sim"
+	"slowcc/internal/store"
 )
+
+// exitInterrupted is the exit code for a run stopped gracefully by
+// SIGINT/SIGTERM with a result store attached: completed cells are
+// checkpointed, and a second invocation with -store DIR -resume picks
+// up where this one left off. Distinct from 1 (failure) and 2 (usage)
+// so scripts can tell "rerun me" from "give up".
+const exitInterrupted = 3
 
 type experiment struct {
 	name string
@@ -102,6 +110,11 @@ func main() {
 		serve      = flag.String("serve", "", "serve live telemetry on this address (e.g. 127.0.0.1:9155): /metrics, /healthz, /progress SSE, /debug/pprof; blocks after the run until interrupted")
 		serveOnce  = flag.Bool("serve-once", false, "with -serve: exit as soon as the run finishes instead of blocking for scrapes (CI smoke)")
 		slogLevel  = flag.String("slog", "", "emit structured sweep logs to stderr at this level (debug, info, warn, error)")
+		storeDir   = flag.String("store", "", "durable result store directory: completed sweep cells are journaled here (crash-safe), and SIGINT/SIGTERM checkpoints and exits with code 3 so the run can be resumed")
+		resume     = flag.Bool("resume", false, "with -store: serve completed cells from the store instead of recomputing them (only missing or degraded cells run)")
+		retries    = flag.Int("retries", -1, "per-sweep-cell retry budget on derived seeds (-1 = keep the default of 1)")
+		retryWait  = flag.Duration("retry-backoff", 0, "base for deterministic exponential backoff before retry attempts (0 = retry immediately); never affects simulation results")
+		breaker    = flag.Int("breaker", 0, "per-algorithm-pair circuit breaker: skip a pair's remaining cells after this many consecutive degradations (0 = off); skipped cells resume later with -store -resume")
 	)
 	flag.StringVar(&matrixFlags.algos, "matrix", "", "matrix experiment: comma-separated algorithm specs, e.g. 'tcp:0.5,tfrc:8,sqrt' (empty = the paper's seven)")
 	flag.StringVar(&matrixFlags.topology, "topology", "both", "matrix experiment: dumbbell, parking-lot[:hops], or both")
@@ -118,10 +131,39 @@ func main() {
 		}
 		exp.SetRunBudget(b)
 	}
-	if *deadline > 0 {
+	if *deadline > 0 || *retries >= 0 || *retryWait > 0 || *breaker > 0 {
 		pol := exp.SweepPolicy()
-		pol.Deadline = *deadline
+		if *deadline > 0 {
+			pol.Deadline = *deadline
+		}
+		if *retries >= 0 {
+			pol.Retries = *retries
+		}
+		if *retryWait > 0 {
+			pol.BackoffBase = *retryWait
+		}
+		if *breaker > 0 {
+			pol.BreakerThreshold = *breaker
+		}
 		exp.SetSweepPolicy(pol)
+	}
+	if *resume && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -store DIR")
+		os.Exit(2)
+	}
+	var cellStore *store.Store
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-store: %v\n", err)
+			os.Exit(1)
+		}
+		if st.TornTail() || st.Corrupt() > 0 {
+			fmt.Fprintf(os.Stderr, "store %s: quarantined damaged journal data (torn tail: %v, corrupt entries: %d); affected cells will recompute\n",
+				st.Dir(), st.TornTail(), st.Corrupt())
+		}
+		cellStore = st
+		exp.SetSweepStore(st, *resume)
 	}
 	if *faultSpec != "" {
 		fc, err := faults.ParseSpec(*faultSpec)
@@ -187,6 +229,16 @@ func main() {
 	if *deadline > 0 {
 		m.Config["deadline"] = deadline.String()
 	}
+	if *retries >= 0 {
+		m.Config["retries"] = strconv.Itoa(*retries)
+	}
+	if *breaker > 0 {
+		m.Config["breaker"] = strconv.Itoa(*breaker)
+	}
+	// Deliberately NOT in the config (and so not in the run digest):
+	// -store/-resume (a resumed run must digest identically to an
+	// uninterrupted one) and -retry-backoff (pure wall-clock scheduling,
+	// provably unable to affect results).
 	if *faultSpec != "" {
 		m.Config["fault"] = *faultSpec
 	}
@@ -199,12 +251,12 @@ func main() {
 	// The run digest (seed + flags, before any results land) names this
 	// run in structured logs and on /metrics, so a scrape or a log line
 	// can be tied back to the exact invocation that produced it.
+	runDigest := m.ComputeDigest()
 	var (
 		prog *export.Progress
 		srv  *export.Server
 	)
 	if *serve != "" || *slogLevel != "" {
-		runDigest := m.ComputeDigest()
 		if *slogLevel != "" {
 			var lvl slog.Level
 			if err := lvl.UnmarshalText([]byte(*slogLevel)); err != nil {
@@ -219,6 +271,11 @@ func main() {
 			prog = export.NewProgress(col)
 			prog.SetRun(runDigest)
 			exp.SetSweepProgress(prog)
+			if cellStore != nil {
+				col.SetCounterFunc("store.hits", cellStore.Hits)
+				col.SetCounterFunc("store.misses", cellStore.Misses)
+				col.SetCounterFunc("store.corrupt", cellStore.Corrupt)
+			}
 			srv = export.NewServer(col, prog)
 			addr, err := srv.Start(*serve)
 			if err != nil {
@@ -228,10 +285,32 @@ func main() {
 			fmt.Fprintf(os.Stderr, "serving telemetry on http://%s/{metrics,healthz,progress,debug/pprof}\n", addr)
 		}
 	}
+	var storeSig chan os.Signal
+	if cellStore != nil {
+		// Graceful shutdown: the first SIGINT/SIGTERM lets in-flight cells
+		// finish and commit, skips the rest, checkpoints the journal, and
+		// exits with code 3 ("resume me"). A second signal is fatal as
+		// usual (the journal's per-entry fsync still bounds the loss to
+		// the in-flight cells).
+		storeSig = make(chan os.Signal, 1)
+		signal.Notify(storeSig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			s := <-storeSig
+			fmt.Fprintf(os.Stderr, "%v: stopping gracefully — finishing in-flight cells, checkpointing %s\n", s, cellStore.Dir())
+			exp.RequestStop()
+			signal.Stop(storeSig)
+		}()
+	}
 	wallStart := time.Now()
 	for _, e := range exps {
 		if *name != "all" && !strings.EqualFold(*name, e.name) {
 			continue
+		}
+		if cellStore != nil {
+			// Scope generic (non-matrix) sweep keys by run digest and
+			// experiment name: a pure function of the invocation, so an
+			// interrupted and a resumed run derive identical cell keys.
+			exp.SetSweepScope(runDigest + "|" + e.name)
 		}
 		ran = true
 		start := time.Now()
@@ -283,6 +362,29 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("manifest written to %s\n", *manifest)
+	}
+	if cellStore != nil {
+		// Compact the journal into a snapshot and surface the cache's
+		// work; the summary line is what resume smokes grep for.
+		if err := cellStore.Checkpoint(); err != nil {
+			fmt.Fprintf(os.Stderr, "store checkpoint: %v\n", err)
+		}
+		fmt.Fprintf(os.Stderr, "store %s: %d entries, %d hits, %d misses, %d corrupt\n",
+			cellStore.Dir(), cellStore.Len(), cellStore.Hits(), cellStore.Misses(), cellStore.Corrupt())
+		if stopped := exp.StoppedCells(); stopped > 0 {
+			fmt.Fprintf(os.Stderr, "%d cell(s) skipped by graceful stop\n", stopped)
+		}
+		if err := cellStore.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "store close: %v\n", err)
+		}
+		if exp.StopRequested() {
+			fmt.Fprintf(os.Stderr, "interrupted; resume with: -store %s -resume\n", cellStore.Dir())
+			os.Exit(exitInterrupted)
+		}
+		// The run finished uninterrupted; release the graceful-stop
+		// handler so a later SIGTERM (e.g. shutting down -serve) is not
+		// misreported as a mid-sweep stop.
+		signal.Stop(storeSig)
 	}
 	if prog != nil {
 		prog.RunDone()

@@ -2,12 +2,14 @@ package exp
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"slowcc/internal/cc/cbr"
 	"slowcc/internal/faults"
 	"slowcc/internal/metrics"
 	"slowcc/internal/netem"
+	"slowcc/internal/obs"
 	"slowcc/internal/sim"
 	"slowcc/internal/topology"
 )
@@ -184,7 +186,20 @@ func Matrix(cfg MatrixConfig) []MatrixCell {
 			}
 		}
 	}
-	cells := supervisedMap(len(jobs), func(sc *Cell) MatrixCell {
+	// Matrix cells carry semantic store keys — a per-cell
+	// slowcc-manifest/1 digest over every knob that shapes the run — so
+	// a resumed or re-invoked sweep recognizes completed cells no matter
+	// how the surrounding flags reordered the sweep. The breaker groups
+	// cells by ordered algorithm pair: a pairing that degrades K times
+	// in a row stops burning deadline budget across the remaining
+	// condition/topology combinations.
+	cells := supervisedMapMeta(len(jobs), func(i int) cellMeta {
+		j := jobs[i]
+		return cellMeta{
+			key:  matrixCellKey(cfg, j.topo, j.cond, j.a, j.b),
+			kind: j.a.Name + "|" + j.b.Name,
+		}
+	}, func(sc *Cell) MatrixCell {
 		j := jobs[sc.Index()]
 		c := cfg
 		c.cell = sc
@@ -198,6 +213,38 @@ func Matrix(cfg MatrixConfig) []MatrixCell {
 		}
 	}
 	return cells
+}
+
+// matrixCellKey builds the cell's durable identity: the sha256 digest
+// of a slowcc-manifest/1 record over every configuration knob that
+// shapes the cell's run. Two invocations that would compute the same
+// cell — same pair, condition, topology, rates, timeline, seed —
+// produce the same key, so the result store can serve one's work to
+// the other; any knob change changes the key and forces a recompute.
+func matrixCellKey(cfg MatrixConfig, topo, cond string, a, b AlgoSpec) string {
+	m := obs.NewManifest("slowccsim.matrix-cell", cfg.Seed)
+	m.DurationS = float64(cfg.Warmup + cfg.Measure)
+	m.Algos = []string{a.Name, b.Name}
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	m.Config = map[string]string{
+		"topology":       topo,
+		"condition":      cond,
+		"algo_a":         a.Name,
+		"algo_b":         b.Name,
+		"hops":           strconv.Itoa(cfg.Hops),
+		"rate":           g(cfg.Rate),
+		"flows_per_side": strconv.Itoa(cfg.FlowsPerSide),
+		"reverse_flows":  strconv.Itoa(cfg.ReverseFlows),
+		"cbr_peak":       g(cfg.CBRPeak),
+		"period":         g(float64(cfg.Period)),
+		"cross_rate":     g(cfg.CrossRate),
+		"outage_dur":     g(float64(cfg.OutageDur)),
+		"warmup":         g(float64(cfg.Warmup)),
+		"measure":        g(float64(cfg.Measure)),
+		"smooth_bin":     g(float64(cfg.SmoothBin)),
+		"disable_pool":   strconv.FormatBool(cfg.DisablePool),
+	}
+	return m.ComputeDigest()
 }
 
 func runMatrixCell(cfg MatrixConfig, topo, cond string, a, b AlgoSpec) MatrixCell {

@@ -1,0 +1,413 @@
+package exp
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"slowcc/internal/obs"
+	"slowcc/internal/sim"
+	"slowcc/internal/store"
+)
+
+// withStore installs a fresh result store (recording or replaying) for
+// one test and restores clean supervision state afterwards.
+func withStore(t *testing.T, replay bool) *store.Store {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := SetSweepStore(st, replay)
+	t.Cleanup(func() {
+		SetSweepStore(prev, false)
+		SetSweepScope("")
+		ResetBreaker()
+		ResetStop()
+		st.Close()
+	})
+	return st
+}
+
+// tinyMatrix is the fastest meaningful matrix: two algorithms, one
+// condition, one topology — four cells, five simulated seconds each.
+func tinyMatrix(seed int64) MatrixConfig {
+	return MatrixConfig{
+		Algos:      []AlgoSpec{TCPAlgo(0.5), CBRAlgo(1e6)},
+		Conditions: []string{CondStatic},
+		Topologies: []string{TopoDumbbell},
+		Rate:       2e6,
+		Warmup:     1, Measure: 4, Seed: seed,
+	}
+}
+
+func TestMatrixResumeServesFromStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix sweeps in -short mode")
+	}
+	withPolicy(t, CellPolicy{Retries: 1})
+	st := withStore(t, false)
+
+	tsvCold := RenderMatrixTSV(Matrix(tinyMatrix(1)))
+	if st.Len() != 4 {
+		t.Fatalf("store holds %d cells after the sweep, want 4", st.Len())
+	}
+	for _, e := range st.Entries() {
+		if e.Degraded || len(e.Result) == 0 {
+			t.Fatalf("stored cell %s: degraded=%v result=%d bytes", e.Key, e.Degraded, len(e.Result))
+		}
+		if e.Stats == nil || e.Stats.Events == 0 {
+			t.Fatalf("stored cell %s has no telemetry snapshot", e.Key)
+		}
+	}
+
+	// Resume: same config, replay on — every cell must be served from
+	// the store and the TSV artifact must be byte-identical.
+	SetSweepStore(st, true)
+	if got := RenderMatrixTSV(Matrix(tinyMatrix(1))); got != tsvCold {
+		t.Fatalf("replayed TSV differs from the cold run:\n%s\nvs\n%s", got, tsvCold)
+	}
+	if st.Hits() != 4 {
+		t.Fatalf("hits = %d, want 4", st.Hits())
+	}
+
+	// A different seed keys differently and must not be served stale
+	// seed-1 results.
+	if RenderMatrixTSV(Matrix(tinyMatrix(2))) == tsvCold {
+		t.Fatal("seed-2 sweep replayed seed-1 results: keys are not seed-sensitive")
+	}
+}
+
+func TestMatrixResumeRecomputesOnlyMissingCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix sweeps in -short mode")
+	}
+	withPolicy(t, CellPolicy{Retries: 1})
+	st := withStore(t, false)
+	tsvCold := RenderMatrixTSV(Matrix(tinyMatrix(1)))
+
+	// Build a partial store — as a SIGKILL mid-sweep would leave — by
+	// copying all but one completed cell into a fresh directory.
+	partial, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer partial.Close()
+	entries := st.Entries()
+	for _, e := range entries[:len(entries)-1] {
+		if err := partial.Put(*e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	SetSweepStore(partial, true)
+	if got := RenderMatrixTSV(Matrix(tinyMatrix(1))); got != tsvCold {
+		t.Fatalf("resumed TSV differs from the uninterrupted run:\n%s\nvs\n%s", got, tsvCold)
+	}
+	if partial.Hits() != 3 {
+		t.Fatalf("hits = %d, want 3 (exactly one cell recomputes)", partial.Hits())
+	}
+	if partial.Misses() != 1 {
+		t.Fatalf("misses = %d, want 1", partial.Misses())
+	}
+	if partial.Len() != 4 {
+		t.Fatalf("recomputed cell not committed: store holds %d, want 4", partial.Len())
+	}
+}
+
+func TestCachedCellsEmitCachedLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix sweeps in -short mode")
+	}
+	withPolicy(t, CellPolicy{Retries: 1})
+	st := withStore(t, false)
+	Matrix(tinyMatrix(1))
+
+	SetSweepStore(st, true)
+	sink := withSink(t)
+	Matrix(tinyMatrix(1))
+
+	for i := 0; i < 4; i++ {
+		if !kindsEqual(sink.cellKinds(i), obs.SweepQueued, obs.SweepCached) {
+			t.Fatalf("cached cell %d lifecycle = %v, want queued, cached", i, sink.cellKinds(i))
+		}
+	}
+	if len(sink.stats) != 4 {
+		t.Fatalf("replayed %d CellStats, want 4", len(sink.stats))
+	}
+	for _, cs := range sink.stats {
+		if cs.Events == 0 || len(cs.Counters) == 0 || cs.Digest == 0 {
+			t.Fatalf("replayed stats lost telemetry: %+v", cs)
+		}
+	}
+}
+
+func TestScopeKeyedSweepReplays(t *testing.T) {
+	withPolicy(t, CellPolicy{Retries: 1})
+	st := withStore(t, false)
+	SetSweepScope("scope-A")
+
+	var runs atomic.Int64
+	compute := func(c *Cell) float64 {
+		runs.Add(1)
+		return float64(c.Index()) * 1.5
+	}
+	first := supervisedMap(3, compute)
+	if runs.Load() != 3 || st.Len() != 3 {
+		t.Fatalf("cold run: %d computes, %d stored; want 3, 3", runs.Load(), st.Len())
+	}
+
+	// Same scope, replay on: the sweep must not recompute anything.
+	SetSweepStore(st, true)
+	SetSweepScope("scope-A")
+	warm := supervisedMap(3, compute)
+	if runs.Load() != 3 {
+		t.Fatalf("replay ran %d extra computes", runs.Load()-3)
+	}
+	for i := range first {
+		if warm[i] != first[i] {
+			t.Fatalf("cell %d: replayed %v, computed %v", i, warm[i], first[i])
+		}
+	}
+
+	// A different scope keys differently: scope-B must not be served
+	// scope-A's cells.
+	SetSweepScope("scope-B")
+	supervisedMap(3, compute)
+	if runs.Load() != 6 {
+		t.Fatalf("scope-B was served scope-A results (%d computes, want 6)", runs.Load())
+	}
+}
+
+// lossyResult cannot round-trip JSON (unexported field), so replaying
+// it would rebuild artifacts that differ from a cold run's; the sweep
+// must run it unkeyed.
+type lossyResult struct {
+	OK     bool
+	hidden int
+}
+
+func TestLossyResultTypesAreNeverKeyed(t *testing.T) {
+	withPolicy(t, CellPolicy{Retries: 1})
+	st := withStore(t, true)
+	SetSweepScope("scope-lossy")
+	out := supervisedMap(2, func(c *Cell) lossyResult {
+		return lossyResult{OK: true, hidden: c.Index()}
+	})
+	if st.Len() != 0 {
+		t.Fatalf("lossy result type was stored (%d entries)", st.Len())
+	}
+	if !out[0].OK || out[1].hidden != 1 {
+		t.Fatalf("unkeyed sweep results wrong: %+v", out)
+	}
+}
+
+func TestRetryBackoffSchedulePinned(t *testing.T) {
+	pol := CellPolicy{BackoffBase: 100 * time.Millisecond, BackoffMax: time.Second}
+	// The schedule is a pure function of (index, attempt): exponential
+	// growth capped at BackoffMax, plus SplitMix64-derived jitter. These
+	// exact values are part of the reproducibility contract — a drift
+	// here means retry timing changed between releases (results never
+	// depend on it, but operators' deadline budgets do).
+	want := map[[2]int]time.Duration{
+		{0, 0}: 0,
+		{0, 1}: 115296940, {0, 2}: 238628441, {0, 3}: 495375534,
+		{0, 4}: 832486008, {0, 5}: 1079093969,
+		{3, 1}: 116565402, {3, 2}: 214412294, {3, 3}: 427067934,
+		{3, 4}: 994715458, {3, 5}: 1013446041,
+	}
+	for k, w := range want {
+		if got := retryBackoff(pol, k[0], k[1]); got != w {
+			t.Errorf("retryBackoff(idx=%d, attempt=%d) = %d, want %d", k[0], k[1], got, w)
+		}
+	}
+	if retryBackoff(CellPolicy{Retries: 3}, 0, 2) != 0 {
+		t.Error("backoff fired with no BackoffBase configured")
+	}
+	// deriveSeed is the only randomness source backoff uses; pin its
+	// attempt schedule too, so seed derivation and backoff jitter cannot
+	// silently diverge.
+	wantSeeds := map[[2]int64]int64{
+		{1, 0}: 1, {1, 1}: -7995527694508729151, {1, 2}: -4689498862643123097, {1, 3}: -534904783426661026,
+		{42, 0}: 42, {42, 1}: -4767286540954276203, {42, 2}: 2949826092126892291, {42, 3}: 5139283748462763858,
+	}
+	for k, w := range wantSeeds {
+		if got := deriveSeed(k[0], int(k[1])); got != w {
+			t.Errorf("deriveSeed(%d, %d) = %d, want %d", k[0], k[1], got, w)
+		}
+	}
+}
+
+func TestBackoffNeverPerturbsAttemptSeedsOrResults(t *testing.T) {
+	// The same flaky cell supervised with and without backoff: every
+	// attempt must see the same derived seed and the rescued result must
+	// be identical — backoff schedules attempts in wall time only and
+	// never touches the seed stream.
+	run := func(pol CellPolicy) ([]int64, int64) {
+		prev := SetSweepPolicy(pol)
+		defer SetSweepPolicy(prev)
+		var seeds []int64
+		v, rerr := Supervise(0, func(c *Cell) int64 {
+			s := c.Seed(7)
+			seeds = append(seeds, s)
+			if c.Attempt() < 2 {
+				panic("flaky")
+			}
+			return s
+		})
+		if rerr != nil {
+			t.Fatalf("cell never recovered under %+v: %v", pol, rerr)
+		}
+		return seeds, v
+	}
+	plainSeeds, plainV := run(CellPolicy{Retries: 2})
+	backoffSeeds, backoffV := run(CellPolicy{Retries: 2, BackoffBase: time.Millisecond})
+	if len(plainSeeds) != 3 || len(backoffSeeds) != 3 {
+		t.Fatalf("attempts = %d / %d, want 3 / 3", len(plainSeeds), len(backoffSeeds))
+	}
+	for i := range plainSeeds {
+		if plainSeeds[i] != backoffSeeds[i] {
+			t.Fatalf("attempt %d seed differs under backoff: %d vs %d", i, plainSeeds[i], backoffSeeds[i])
+		}
+	}
+	if plainSeeds[0] != 7 {
+		t.Fatalf("attempt 0 seed = %d, want the base seed unchanged", plainSeeds[0])
+	}
+	if plainV != backoffV {
+		t.Fatalf("results differ under backoff: %d vs %d", plainV, backoffV)
+	}
+}
+
+func TestBackoffAttemptZeroBitIdentical(t *testing.T) {
+	// A real scenario run under an aggressive backoff policy must
+	// produce the identical event-stream digest as one supervised with
+	// no retries at all: attempt 0 never waits and never rederives its
+	// seed, so first-run behavior is bit-identical whatever the policy.
+	digest := func(pol CellPolicy) uint64 {
+		prev := SetSweepPolicy(pol)
+		defer SetSweepPolicy(prev)
+		sink := &recordingSink{}
+		prevSink := SetSweepProgress(sink)
+		defer SetSweepProgress(prevSink)
+		_, rerr := Supervise(0, func(c *Cell) int {
+			runCellScenario(c, 11)
+			return 1
+		})
+		if rerr != nil {
+			t.Fatalf("scenario cell failed under %+v: %v", pol, rerr)
+		}
+		if len(sink.stats) != 1 {
+			t.Fatalf("got %d CellStats, want 1", len(sink.stats))
+		}
+		return sink.stats[0].Digest
+	}
+	plain := digest(CellPolicy{Retries: 0})
+	backoff := digest(CellPolicy{Retries: 3, BackoffBase: time.Hour})
+	if plain != backoff {
+		t.Fatalf("attempt-0 digest %016x differs from no-retry policy's %016x", backoff, plain)
+	}
+}
+
+func TestCircuitBreakerStopsRepeatedDegradation(t *testing.T) {
+	prevProcs := runtime.GOMAXPROCS(1) // serialize the pool: breaker counts are per completed cell
+	defer runtime.GOMAXPROCS(prevProcs)
+	withPolicy(t, CellPolicy{Retries: 0, BreakerThreshold: 2})
+	defer ResetBreaker()
+
+	var ran atomic.Int64
+	supervisedMapMeta(5,
+		func(i int) cellMeta { return cellMeta{kind: "bad|pair"} },
+		func(c *Cell) int {
+			ran.Add(1)
+			panic("always fails")
+		})
+	if ran.Load() != 2 {
+		t.Fatalf("breaker let %d cells run, want 2 (the threshold)", ran.Load())
+	}
+	errs := SweepErrors()
+	if len(errs) != 5 {
+		t.Fatalf("recorded %d errors, want 5 (2 degraded + 3 skipped)", len(errs))
+	}
+	for i, e := range errs {
+		wantOpen := i >= 2
+		if e.BreakerOpen != wantOpen {
+			t.Fatalf("error %d: BreakerOpen = %v, want %v (%v)", i, e.BreakerOpen, wantOpen, e)
+		}
+		if wantOpen && e.Kind != "bad|pair" {
+			t.Fatalf("skip error carries kind %q, want the pair name", e.Kind)
+		}
+	}
+	ResetSweepErrors()
+
+	// A success closes the breaker: alternating outcomes never trip it.
+	ResetBreaker()
+	ran.Store(0)
+	supervisedMapMeta(6,
+		func(i int) cellMeta { return cellMeta{kind: "flappy"} },
+		func(c *Cell) int {
+			ran.Add(1)
+			if c.Index()%2 == 0 {
+				panic("even cells fail")
+			}
+			return c.Index()
+		})
+	if ran.Load() != 6 {
+		t.Fatalf("alternating sweep ran %d cells, want all 6", ran.Load())
+	}
+	ResetSweepErrors()
+}
+
+func TestRequestStopSkipsRemainingCells(t *testing.T) {
+	prevProcs := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prevProcs)
+	withPolicy(t, CellPolicy{Retries: 0})
+	ResetStop()
+	defer ResetStop()
+
+	var ran atomic.Int64
+	out := supervisedMap(5, func(c *Cell) int {
+		ran.Add(1)
+		if c.Index() == 1 {
+			RequestStop()
+		}
+		return 100 + c.Index()
+	})
+	if ran.Load() != 2 {
+		t.Fatalf("%d cells ran after the stop request, want 2", ran.Load())
+	}
+	if StoppedCells() != 3 {
+		t.Fatalf("StoppedCells = %d, want 3", StoppedCells())
+	}
+	if out[1] != 101 || out[2] != 0 {
+		t.Fatalf("in-flight cell lost or skipped cell non-zero: %v", out)
+	}
+	if len(SweepErrors()) != 0 {
+		t.Fatalf("graceful stop recorded errors: %v", SweepErrors())
+	}
+}
+
+func TestCellStatsAggregatesEveryEngineHalt(t *testing.T) {
+	withPolicy(t, CellPolicy{Retries: 0})
+	prevB := SetRunBudget(&sim.Budget{MaxEvents: 100})
+	defer SetRunBudget(prevB)
+	sink := withSink(t)
+
+	// One cell, two engines, both halted by the event budget: the stats
+	// must carry both reasons, not only the first engine's.
+	supervisedMap(1, func(c *Cell) int {
+		runCellScenario(c, 1)
+		runCellScenario(c, 2)
+		return 0
+	})
+	if len(sink.stats) != 1 {
+		t.Fatalf("got %d CellStats, want 1", len(sink.stats))
+	}
+	st := sink.stats[0]
+	if len(st.Halts) != 2 {
+		t.Fatalf("Halts = %v, want both engines' halt reasons", st.Halts)
+	}
+	if st.Halt != st.Halts[0] {
+		t.Fatalf("legacy Halt %q is not the first of Halts %v", st.Halt, st.Halts)
+	}
+	ResetSweepErrors()
+}

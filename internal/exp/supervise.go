@@ -6,12 +6,15 @@ import (
 	"log/slog"
 	"path/filepath"
 	"runtime/pprof"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"slowcc/internal/faults"
 	"slowcc/internal/obs"
 	"slowcc/internal/sim"
+	"slowcc/internal/store"
 )
 
 // CellPolicy governs how supervised sweep cells run. The zero value
@@ -35,6 +38,56 @@ type CellPolicy struct {
 	FlightDir string
 	// FlightRing overrides the flight recorder ring size (0 = default).
 	FlightRing int
+	// BackoffBase, when positive, makes each retry attempt wait before
+	// starting: attempt a (a >= 1) sleeps min(BackoffBase << (a-1),
+	// BackoffMax) plus a deterministic jitter derived from the cell index
+	// and attempt number via the same SplitMix64 round as deriveSeed.
+	// The wait is pure wall-clock scheduling — it never draws from any
+	// RNG the simulation uses, so enabling backoff cannot perturb the
+	// traffic stream, and attempt 0 (which never waits) stays
+	// bit-identical.
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential backoff (0 = DefaultBackoffMax).
+	BackoffMax time.Duration
+	// BreakerThreshold, when positive, arms a per-cell-kind circuit
+	// breaker: after this many consecutive degraded cells of the same
+	// kind (the matrix driver's kind is the algorithm pair), further
+	// cells of that kind are skipped — recorded as BreakerOpen RunErrors
+	// and reported, not run — so a systematically failing pairing stops
+	// burning deadline budget. A success of the kind closes the breaker.
+	// Skipped cells are absent from the result store, so a later -resume
+	// run retries them.
+	BreakerThreshold int
+}
+
+// DefaultBackoffMax bounds exponential retry backoff when the policy
+// does not set its own cap.
+const DefaultBackoffMax = 30 * time.Second
+
+// retryBackoff returns the deterministic wait before attempt a of the
+// given cell: exponential in the attempt number, capped, with jitter
+// from SplitMix64 so simultaneous retries of different cells spread out
+// identically on every run. Attempt 0 never waits.
+func retryBackoff(pol CellPolicy, index, attempt int) time.Duration {
+	if pol.BackoffBase <= 0 || attempt <= 0 {
+		return 0
+	}
+	max := pol.BackoffMax
+	if max <= 0 {
+		max = DefaultBackoffMax
+	}
+	d := pol.BackoffBase
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// Jitter in [0, d/4]: derived, not drawn — the schedule is a pure
+	// function of (index, attempt).
+	span := uint64(d/4) + 1
+	j := time.Duration(uint64(deriveSeed(int64(index), attempt)) % span)
+	return d + j
 }
 
 // DefaultCellPolicy is the package's starting policy: one retry on a
@@ -59,16 +112,35 @@ type RunError struct {
 	// Deadline reports that the last attempt exceeded the cell deadline
 	// rather than panicking.
 	Deadline bool
+	// Halt carries the engines' sim.HaltReason strings from the last
+	// attempt when they are harvestable: every engine's sticky budget
+	// halt, "; "-joined, so a multi-engine cell's degraded report names
+	// each leg's reason instead of only the first.
+	Halt string
+	// BreakerOpen reports that the cell was never run: its kind's
+	// circuit breaker was open after consecutive degradations.
+	BreakerOpen bool
+	// Kind is the cell-kind label the breaker grouped by (the matrix
+	// driver's algorithm pair), set on BreakerOpen errors.
+	Kind string
 }
 
 // Error implements error.
 func (e *RunError) Error() string {
-	if e.Deadline {
-		return fmt.Sprintf("exp: sweep cell %d exceeded its deadline after %d attempts", e.Index, e.Attempts)
+	if e.BreakerOpen {
+		return fmt.Sprintf("exp: sweep cell %d skipped: circuit breaker open for kind %q after consecutive degradations", e.Index, e.Kind)
 	}
-	s := fmt.Sprintf("exp: sweep cell %d panicked after %d attempts: %v", e.Index, e.Attempts, e.Value)
-	if e.FlightDump != "" {
-		s += " (flight dump: " + e.FlightDump + ")"
+	var s string
+	if e.Deadline {
+		s = fmt.Sprintf("exp: sweep cell %d exceeded its deadline after %d attempts", e.Index, e.Attempts)
+	} else {
+		s = fmt.Sprintf("exp: sweep cell %d panicked after %d attempts: %v", e.Index, e.Attempts, e.Value)
+		if e.FlightDump != "" {
+			s += " (flight dump: " + e.FlightDump + ")"
+		}
+	}
+	if e.Halt != "" {
+		s += " (halt: " + e.Halt + ")"
 	}
 	return s
 }
@@ -136,7 +208,24 @@ var supervision = struct {
 	sink     obs.SweepSink
 	logger   *slog.Logger
 	sweepT0  time.Time
+	// store is the durable result store keyed sweeps consult and feed
+	// (SetSweepStore); replay additionally serves hits from it.
+	store  *store.Store
+	replay bool
+	// scope names the current run for generic (non-matrix) sweep keying;
+	// scopeSeq counts supervisedMap invocations under the scope so two
+	// sweeps in one run cannot collide on (scope, index).
+	scope    string
+	scopeSeq int
+	// breaker counts consecutive degraded cells per cell kind.
+	breaker map[string]int
+	// stopped counts cells skipped because a graceful stop was requested.
+	stopped int64
 }{pol: CellPolicy{Retries: 1}}
+
+// stopRequested flags a graceful shutdown: supervised sweeps stop
+// starting new cells, in-flight cells finish and commit.
+var stopRequested atomic.Bool
 
 // SetSweepPolicy installs the cell policy used by supervised sweeps and
 // Supervise, returning the previous one so tests can restore it.
@@ -282,7 +371,11 @@ func sweepSince(t0 time.Time) float64 {
 func scenarioGlobals() (budget *sim.Budget, fault *faults.Config, pol CellPolicy, collect bool) {
 	supervision.mu.Lock()
 	defer supervision.mu.Unlock()
-	return supervision.budget, supervision.fault, supervision.pol, supervision.sink != nil
+	// A store counts as a telemetry consumer: recorded cells carry their
+	// counters/histograms/digest so a resumed run replays the same
+	// /metrics state a cold run produces.
+	return supervision.budget, supervision.fault, supervision.pol,
+		supervision.sink != nil || supervision.store != nil
 }
 
 // Supervise runs job as one supervised sweep cell under the current
@@ -292,10 +385,14 @@ func scenarioGlobals() (budget *sim.Budget, fault *faults.Config, pol CellPolicy
 // success the error is nil; callers that are not part of a sweep get
 // the error directly and nothing is recorded in SweepErrors.
 func Supervise[T any](index int, job func(c *Cell) T) (T, *RunError) {
-	return superviseCell(index, 0, SweepPolicy(), job)
+	v, _, _, rerr := superviseCell(index, 0, SweepPolicy(), job)
+	return v, rerr
 }
 
-func superviseCell[T any](index, worker int, pol CellPolicy, job func(c *Cell) T) (T, *RunError) {
+// superviseCell runs one cell to completion. On success it additionally
+// returns the cell's telemetry snapshot and the number of attempts
+// spent, which the keyed sweep path commits to the result store.
+func superviseCell[T any](index, worker int, pol CellPolicy, job func(c *Cell) T) (T, obs.CellStats, int, *RunError) {
 	attempts := pol.Retries + 1
 	if attempts < 1 {
 		attempts = 1
@@ -318,6 +415,12 @@ func superviseCell[T any](index, worker int, pol CellPolicy, job func(c *Cell) T
 	}
 	var last *RunError
 	for a := 0; a < attempts; a++ {
+		if wait := retryBackoff(pol, index, a); wait > 0 {
+			// Virtual attempt scheduling only: the wait happens on this
+			// worker's wall clock, outside any engine, so the retry's
+			// derived-seed run is bit-identical with or without backoff.
+			time.Sleep(wait)
+		}
 		start := 0.0
 		if tl != nil {
 			start = sweepSince(t0)
@@ -355,7 +458,13 @@ func superviseCell[T any](index, worker int, pol CellPolicy, job func(c *Cell) T
 					AtMS: msSince(st0), DurMS: float64(dur) / float64(time.Millisecond),
 				})
 			}
-			return v, nil
+			return v, st, a + 1, nil
+		}
+		if cell != nil && rerr.Halt == "" {
+			// The attempt failed but the job returned (a panic, not an
+			// abandoned deadline), so its engines' sticky halt reasons are
+			// safely harvestable into the degraded report.
+			rerr.Halt = strings.Join(cellStats(index, cell).Halts, "; ")
 		}
 		if logger != nil {
 			logger.LogAttrs(context.Background(), slog.LevelInfo, "sweep cell attempt failed",
@@ -381,7 +490,7 @@ func superviseCell[T any](index, worker int, pol CellPolicy, job func(c *Cell) T
 		})
 	}
 	var zero T
-	return zero, last
+	return zero, obs.CellStats{}, attempts, last
 }
 
 // msSince converts a wall-clock instant into milliseconds-ago.
@@ -389,9 +498,11 @@ func msSince(t0 time.Time) float64 {
 	return float64(time.Since(t0)) / float64(time.Millisecond)
 }
 
-// cellStats snapshots a successfully finished cell's telemetry: summed
-// counters, every histogram by value, the XOR-combined stream digest,
-// and the first budget halt reason. Safe because the job has returned —
+// cellStats snapshots a finished cell's telemetry: summed counters,
+// every histogram by value, the XOR-combined stream digest, and the
+// engines' budget halt reasons — Halt keeps the historical first-engine
+// value, Halts carries every engine's sticky reason so a multi-engine
+// cell's report names them all. Safe because the job has returned —
 // nothing else writes to these engines anymore.
 func cellStats(index int, c *Cell) obs.CellStats {
 	st := obs.CellStats{Cell: index}
@@ -407,8 +518,11 @@ func cellStats(index int, c *Cell) obs.CellStats {
 		st.Digest ^= o.dig.Sum()
 		st.DigestEvents += o.dig.Events()
 		st.Events += o.eng.Steps()
-		if h := o.eng.Halted(); h != nil && h.Cause != sim.HaltDone && st.Halt == "" {
-			st.Halt = h.String()
+		if h := o.eng.Halted(); h != nil && h.Cause != sim.HaltDone {
+			st.Halts = append(st.Halts, h.String())
+			if st.Halt == "" {
+				st.Halt = h.String()
+			}
 		}
 	}
 	return st
@@ -468,10 +582,27 @@ func runAttempt[T any](index, attempt int, pol CellPolicy, job func(c *Cell) T) 
 	case o := <-res:
 		return o.v, c, o.rerr
 	case <-time.After(pol.Deadline):
+		re := &RunError{Index: index, Deadline: true}
+		// Grace window: when the deadline pairs with an engine wall
+		// budget (the documented pairing), the abandoned run halts just
+		// past the deadline — wait briefly so its sticky sim.HaltReason
+		// lands in the degraded report. The classification stands either
+		// way; only consult the Cell if the job provably returned.
+		select {
+		case o := <-res:
+			if o.rerr == nil {
+				re.Halt = strings.Join(cellStats(index, c).Halts, "; ")
+			}
+		case <-time.After(deadlineGrace):
+		}
 		var zero T
-		return zero, nil, &RunError{Index: index, Deadline: true}
+		return zero, nil, re
 	}
 }
+
+// deadlineGrace bounds how long a deadline-exceeded attempt is given to
+// actually halt (via its wall budget) before being fully abandoned.
+const deadlineGrace = 250 * time.Millisecond
 
 // dumpCellFlight writes the cell's flight-recorder ring next to the
 // panic, returning the dump path ("" when no recorder was wired or the
@@ -492,22 +623,9 @@ func dumpCellFlight(c *Cell, pol CellPolicy, pv any) string {
 // SweepErrors (recorded in index order, deterministically) instead of
 // aborting the sweep. Figures 3-19 run their sweeps through it, so one
 // poisoned cell degrades one table entry rather than the whole run.
+// When a result store and sweep scope are installed (and the result
+// type round-trips JSON losslessly), cells are additionally keyed into
+// the store — see storekey.go.
 func supervisedMap[T any](n int, fn func(c *Cell) T) []T {
-	pol := SweepPolicy()
-	type res struct {
-		v    T
-		rerr *RunError
-	}
-	cells := parallelMapIndexed(n, func(worker, i int) res {
-		v, rerr := superviseCell(i, worker, pol, fn)
-		return res{v, rerr}
-	})
-	out := make([]T, n)
-	for i, r := range cells {
-		out[i] = r.v
-		if r.rerr != nil {
-			recordSweepError(r.rerr)
-		}
-	}
-	return out
+	return supervisedMapMeta(n, scopeMeta[T](n), fn)
 }

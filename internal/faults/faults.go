@@ -108,7 +108,12 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("faults: %s probability %v outside [0,1]", p.name, p.v)
 		}
 	}
-	if c.ReorderProb > 0 && (!(c.ReorderDelay > 0) || math.IsInf(c.ReorderDelay, 0)) {
+	if c.ReorderDelay < 0 || math.IsNaN(c.ReorderDelay) || math.IsInf(c.ReorderDelay, 0) {
+		// Checked even with ReorderProb == 0, so a bad delay can never
+		// hide in a config whose probability is later raised.
+		return fmt.Errorf("faults: reorder delay %v must be non-negative and finite", c.ReorderDelay)
+	}
+	if c.ReorderProb > 0 && !(c.ReorderDelay > 0) {
 		return fmt.Errorf("faults: reorder delay %v must be positive and finite", c.ReorderDelay)
 	}
 	return nil

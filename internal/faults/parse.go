@@ -33,11 +33,24 @@ func ParseSpec(spec string) (Config, error) {
 	if spec == "" {
 		return cfg, fmt.Errorf("faults: empty spec (use \"none\" for no faults)")
 	}
+	seen := map[string]bool{}
 	for _, clause := range strings.Split(spec, ";") {
 		key, rest, ok := strings.Cut(clause, ":")
 		if !ok {
 			return Config{}, fmt.Errorf("faults: spec %q: clause %q is not key:value", spec, clause)
 		}
+		// Each key may appear once. Before this check a duplicate clause
+		// silently won ("corrupt:0.1;corrupt:0.2" meant 0.2), which is
+		// exactly the kind of typo a deterministic-fault spec must not
+		// absorb; repeated outages belong in one comma-separated down
+		// clause.
+		if seen[key] {
+			if key == "down" {
+				return Config{}, fmt.Errorf("faults: spec %q: duplicate clause %q (comma-separate windows: down:25+5,40+2)", spec, key)
+			}
+			return Config{}, fmt.Errorf("faults: spec %q: duplicate clause %q", spec, key)
+		}
+		seen[key] = true
 		switch key {
 		case "down":
 			for _, w := range strings.Split(rest, ",") {
@@ -81,6 +94,11 @@ func ParseSpec(spec string) (Config, error) {
 			}
 			if !(p >= 0 && p <= 1) {
 				return Config{}, fmt.Errorf("faults: spec %q: reorder probability %v outside [0,1]", spec, p)
+			}
+			if delay < 0 {
+				// Rejected even at p == 0: a negative delay is always a
+				// typo, and "reorder:0+-5" silently parsing would hide it.
+				return Config{}, fmt.Errorf("faults: spec %q: reorder delay %v is negative", spec, delay)
 			}
 			if p > 0 && !(delay > 0) {
 				return Config{}, fmt.Errorf("faults: spec %q: reorder delay must be positive", spec)

@@ -52,6 +52,12 @@ func TestParseSpec(t *testing.T) {
 		{"seed:x", false},
 		{"blackout:25+5", false},
 		{"down", false},
+		{"corrupt:0.1;corrupt:0.2", false}, // duplicate clause: no silent last-wins
+		{"down:1+1;down:2+1", false},       // windows belong in one comma-separated clause
+		{"dup:0.1;dup:0.1", false},         // duplicates rejected even when identical
+		{"seed:1;seed:1", false},
+		{"reorder:0+-1", false}, // negative delay never parses, even at p=0
+		{"reorder:0+-0.5;corrupt:0.1", false},
 	}
 	for _, c := range cases {
 		cfg, err := faults.ParseSpec(c.spec)
@@ -103,6 +109,7 @@ func FuzzParseSpec(f *testing.F) {
 		"flap:30+2;seed:9", "corrupt:0.001;dup:0.001",
 		"reorder:0.01+0.05", "down:0.5+0.5;flap:1+1;corrupt:1;dup:1;reorder:1+1;policy:queue;seed:-1",
 		"down:1e-9+1e-9", "seed:9223372036854775807",
+		"corrupt:0.1;corrupt:0.2", "down:1+1;down:2+1", "reorder:0+-1",
 	} {
 		f.Add(seed)
 	}

@@ -21,6 +21,7 @@ type Collector struct {
 	counters     map[string]int64
 	hists        map[string]*obs.Histogram
 	gauges       map[string]float64
+	funcs        map[string]func() int64
 	digest       uint64
 	digestEvents uint64
 	events       uint64
@@ -33,7 +34,24 @@ func NewCollector() *Collector {
 		counters: map[string]int64{},
 		hists:    map[string]*obs.Histogram{},
 		gauges:   map[string]float64{},
+		funcs:    map[string]func() int64{},
 	}
+}
+
+// SetCounterFunc registers a counter sampled at scrape time: each
+// WriteMetrics call evaluates fn and renders its value under the
+// canonical metric name. This is how externally-owned monotone state —
+// the result store's hit/miss/corrupt counts — appears on /metrics
+// without the owner pushing on every change. A nil fn unregisters.
+func (c *Collector) SetCounterFunc(name string, fn func() int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	name = obs.CanonicalMetricName(name)
+	if fn == nil {
+		delete(c.funcs, name)
+		return
+	}
+	c.funcs[name] = fn
 }
 
 // AddCellStats merges one finished cell's snapshots. Histograms with a
@@ -101,9 +119,19 @@ func (c *Collector) WriteMetrics(w io.Writer) error {
 	for name, h := range c.hists {
 		hists = append(hists, obs.HistSnapshot{Name: name, Hist: *h})
 	}
+	funcs := make(map[string]func() int64, len(c.funcs))
+	for k, fn := range c.funcs {
+		funcs[k] = fn
+	}
 	cells, events := c.cells, c.events
 	digest, digestEvents := c.digest, c.digestEvents
 	c.mu.Unlock()
+
+	// Sample registered counter funcs outside the lock (a fn may take
+	// its own locks) and fold them into the counter families.
+	for name, fn := range funcs {
+		counters[name] = fn()
+	}
 
 	sortHistSnapshots(hists)
 	e := newExpoWriter(w)

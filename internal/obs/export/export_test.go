@@ -75,10 +75,10 @@ func TestWritePrometheusGoldenFromRealRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, name := range []string{
-		"slowcc_engine_fired",            // registry counter
-		"slowcc_link_lr_departures",      // bottleneck counter
-		"slowcc_flow1_TCP_1_2__cwnd",     // probe gauge ("flow1.TCP(1/2)" projected)
-		"slowcc_journey_lr_queue_delay",  // journey histogram
+		"slowcc_engine_fired",           // registry counter
+		"slowcc_link_lr_departures",     // bottleneck counter
+		"slowcc_flow1_TCP_1_2__cwnd",    // probe gauge ("flow1.TCP(1/2)" projected)
+		"slowcc_journey_lr_queue_delay", // journey histogram
 	} {
 		if parsed[name] == nil {
 			t.Errorf("family %s missing from exposition", name)
@@ -120,17 +120,17 @@ func TestWriteManifestExposition(t *testing.T) {
 
 func TestStrictParserRejectsMalformed(t *testing.T) {
 	cases := map[string]string{
-		"orphan sample":   "foo 1\n",
-		"bad name":        "# TYPE 1bad counter\n1bad 1\n",
-		"bad type":        "# TYPE foo widget\nfoo 1\n",
-		"duplicate type":  "# TYPE foo counter\n# TYPE foo counter\nfoo 1\n",
+		"orphan sample":    "foo 1\n",
+		"bad name":         "# TYPE 1bad counter\n1bad 1\n",
+		"bad type":         "# TYPE foo widget\nfoo 1\n",
+		"duplicate type":   "# TYPE foo counter\n# TYPE foo counter\nfoo 1\n",
 		"duplicate series": "# TYPE foo counter\nfoo 1\nfoo 2\n",
-		"bad value":       "# TYPE foo counter\nfoo one\n",
-		"unclosed labels": "# TYPE foo counter\nfoo{a=\"b\" 1\n",
-		"missing +Inf":    "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
-		"inf != count":    "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 1\n",
-		"not cumulative":  "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
-		"gauge bucket":    "# TYPE g gauge\ng_bucket{le=\"1\"} 1\n",
+		"bad value":        "# TYPE foo counter\nfoo one\n",
+		"unclosed labels":  "# TYPE foo counter\nfoo{a=\"b\" 1\n",
+		"missing +Inf":     "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"inf != count":     "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 1\n",
+		"not cumulative":   "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"gauge bucket":     "# TYPE g gauge\ng_bucket{le=\"1\"} 1\n",
 	}
 	for name, doc := range cases {
 		if _, err := export.ParseText(strings.NewReader(doc)); err == nil {
@@ -206,6 +206,85 @@ func TestCollectorMerge(t *testing.T) {
 	info := fams["slowcc_stream_digest_info"]
 	if info == nil || info.Samples[0].Labels["digest"] != fmt.Sprintf("%016x", uint64(0xffff)) {
 		t.Fatalf("digest info metric wrong: %+v", info)
+	}
+}
+
+// Counter funcs are sampled at scrape time under canonical names, so
+// externally-owned state (the result store's hit/miss/corrupt counts)
+// shows up in the same document as merged cell counters.
+func TestCollectorCounterFuncs(t *testing.T) {
+	col := export.NewCollector()
+	hits := int64(0)
+	col.SetCounterFunc("store.hits", func() int64 { return hits })
+	col.SetCounterFunc("store.misses", func() int64 { return 2 })
+	col.SetCounterFunc("store.corrupt", func() int64 { return 0 })
+
+	scrape := func() map[string]*export.MetricFamily {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := col.WriteMetrics(&buf); err != nil {
+			t.Fatal(err)
+		}
+		fams, err := export.ParseText(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("exposition with counter funcs invalid: %v\n%s", err, buf.String())
+		}
+		return fams
+	}
+	fams := scrape()
+	for name, want := range map[string]float64{
+		"slowcc_store_hits":    0,
+		"slowcc_store_misses":  2,
+		"slowcc_store_corrupt": 0,
+	} {
+		fam := fams[name]
+		if fam == nil || fam.Type != "counter" || fam.Samples[0].Value != want {
+			t.Errorf("%s = %+v, want counter %v", name, fam, want)
+		}
+	}
+	// The func is sampled per scrape, not captured once.
+	hits = 7
+	if fams = scrape(); fams["slowcc_store_hits"].Samples[0].Value != 7 {
+		t.Errorf("second scrape did not re-sample: %+v", fams["slowcc_store_hits"])
+	}
+	// Unregistering removes the family.
+	col.SetCounterFunc("store.hits", nil)
+	if fams = scrape(); fams["slowcc_store_hits"] != nil {
+		t.Error("unregistered counter func still exposed")
+	}
+}
+
+// Cached cells (served from the result store) count separately from
+// done ones and never touch the running gauge.
+func TestProgressCachedLifecycle(t *testing.T) {
+	hub := export.NewProgress(nil)
+	for _, ev := range []obs.SweepEvent{
+		{Kind: obs.SweepQueued, Cell: 0, AtMS: 1},
+		{Kind: obs.SweepCached, Cell: 0, Outcome: "cached", AtMS: 1},
+		{Kind: obs.SweepQueued, Cell: 1, AtMS: 2},
+		{Kind: obs.SweepRunning, Cell: 1, AtMS: 2},
+		{Kind: obs.SweepDone, Cell: 1, Outcome: "ok", AtMS: 5, DurMS: 3},
+	} {
+		hub.SweepEvent(ev)
+	}
+	counts := hub.Counts()
+	if counts.Cached != 1 || counts.Done != 1 || counts.Running != 0 {
+		t.Fatalf("counts = %+v, want 1 cached, 1 done, 0 running", counts)
+	}
+	var buf bytes.Buffer
+	if err := hub.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := export.ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("progress exposition invalid: %v\n%s", err, buf.String())
+	}
+	cached := fams["slowcc_sweep_cells_cached_total"]
+	if cached == nil || cached.Type != "counter" || cached.Samples[0].Value != 1 {
+		t.Fatalf("slowcc_sweep_cells_cached_total = %+v, want counter 1", cached)
+	}
+	if fams["slowcc_sweep_cells_running"].Samples[0].Value != 0 {
+		t.Fatal("cached lifecycle perturbed the running gauge")
 	}
 }
 

@@ -36,6 +36,7 @@ type Progress struct {
 	queued   int64
 	running  int64 // cells currently executing an attempt
 	done     int64
+	cached   int64 // cells served from the result store, never run
 	retries  int64
 	degraded int64
 	halted   int64 // done cells whose engines hit a budget halt
@@ -85,6 +86,10 @@ func (p *Progress) SweepEvent(ev obs.SweepEvent) {
 	case obs.SweepDegraded:
 		p.running--
 		p.degraded++
+	case obs.SweepCached:
+		// Cached cells go queued -> cached without ever running, so
+		// there is no running gauge to decrement.
+		p.cached++
 	}
 	if len(p.events) >= progressRing {
 		// Shed the older half in one copy-down, amortizing eviction to
@@ -137,6 +142,7 @@ type ProgressCounts struct {
 	Queued   int64  `json:"cells_queued"`
 	Running  int64  `json:"cells_running"`
 	Done     int64  `json:"cells_done"`
+	Cached   int64  `json:"cells_cached"`
 	Retries  int64  `json:"retries"`
 	Degraded int64  `json:"cells_degraded"`
 	Halted   int64  `json:"cells_halted"`
@@ -148,7 +154,7 @@ func (p *Progress) Counts() ProgressCounts {
 	defer p.mu.Unlock()
 	return ProgressCounts{
 		Run: p.run, RunDone: p.runDone,
-		Queued: p.queued, Running: p.running, Done: p.done,
+		Queued: p.queued, Running: p.running, Done: p.done, Cached: p.cached,
 		Retries: p.retries, Degraded: p.degraded, Halted: p.halted,
 	}
 }
@@ -160,7 +166,7 @@ func (p *Progress) WriteMetrics(w io.Writer) error {
 	p.mu.Lock()
 	counts := ProgressCounts{
 		Run: p.run, RunDone: p.runDone,
-		Queued: p.queued, Running: p.running, Done: p.done,
+		Queued: p.queued, Running: p.running, Done: p.done, Cached: p.cached,
 		Retries: p.retries, Degraded: p.degraded, Halted: p.halted,
 	}
 	dropped, lost := p.dropped, p.lost
@@ -173,6 +179,7 @@ func (p *Progress) WriteMetrics(w io.Writer) error {
 	}
 	e.counter(PromName("sweep_cells_queued_total"), counts.Queued)
 	e.counter(PromName("sweep_cells_done_total"), counts.Done)
+	e.counter(PromName("sweep_cells_cached_total"), counts.Cached)
 	e.counter(PromName("sweep_cell_retries_total"), counts.Retries)
 	e.counter(PromName("sweep_cells_degraded_total"), counts.Degraded)
 	e.counter(PromName("sweep_cells_halted_total"), counts.Halted)

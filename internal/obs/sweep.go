@@ -25,6 +25,10 @@ const (
 	// SweepDegraded: every attempt failed; the sweep carries on without
 	// this cell.
 	SweepDegraded SweepEventKind = "degraded"
+	// SweepCached: the cell was served from the durable result store
+	// without running — its recorded CellStats were replayed into the
+	// sink instead (resume runs emit queued then cached, nothing else).
+	SweepCached SweepEventKind = "cached"
 )
 
 // SweepEvent is one progress event from a supervised sweep cell.
@@ -57,6 +61,11 @@ type CellStats struct {
 	DigestEvents uint64 // total events folded across the cell's engines
 	Events       uint64 // total events executed across the cell's engines
 	Halt         string // first engine budget halt reason, "" if none
+	// Halts lists every engine's budget halt reason in construction
+	// order. A multi-engine cell (e.g. a with/without comparison) can
+	// halt more than once; Halt keeps the historical first-engine value,
+	// Halts carries them all.
+	Halts []string `json:",omitempty"`
 }
 
 // SweepSink receives live sweep telemetry from exp.SetSweepProgress.

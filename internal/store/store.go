@@ -1,0 +1,422 @@
+// Package store is a durable, crash-safe result store for supervised
+// sweeps: completed cells are committed to an append-only journal keyed
+// by a deterministic digest (the matrix driver uses a per-cell
+// slowcc-manifest/1 sha256), so a killed sweep resumes by recomputing
+// only the cells the journal does not already hold.
+//
+// Durability model. Every Put appends one framed entry — a fixed
+// little-endian header of payload length and FNV-1a checksum, then the
+// JSON payload — and fsyncs before returning, so an entry that Put
+// acknowledged survives SIGKILL. Reopening tolerates a torn tail (a
+// crash mid-append leaves a partial frame; it is quarantined to a side
+// file and truncated away, never parsed) and quarantines corrupt
+// entries (a checksum-failed frame is skipped and counted, never
+// trusted). Close compacts the journal into a snapshot via the
+// write-temp + fsync + rename idiom; the rename is atomic, and the
+// journal is truncated only after the snapshot is durable, so a crash
+// at any point leaves either the old state or the new — never a mix
+// that drops an acknowledged entry (journal entries are idempotent by
+// key, so replaying them over the snapshot is harmless).
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"slowcc/internal/obs"
+)
+
+// Schema identifies the store's on-disk format (journal payloads and
+// snapshot alike carry it, so a format bump can refuse stale state).
+const Schema = "slowcc-store/1"
+
+const (
+	journalName  = "journal.bin"
+	snapshotName = "snapshot.json"
+	// frameHeaderSize is the fixed per-entry header: u32 payload length,
+	// u64 FNV-1a checksum of the payload, both little-endian.
+	frameHeaderSize = 4 + 8
+	// maxFrameSize bounds a single entry; a length beyond it is treated
+	// as tail corruption (a torn or overwritten header), not an entry.
+	maxFrameSize = 1 << 28
+)
+
+// Entry is one stored sweep-cell result. Result holds the cell's typed
+// value as JSON (the exp layer round-trips it losslessly); Stats is the
+// telemetry snapshot replayed into the live collector on a cache hit.
+// A Degraded entry records that every attempt failed — it is kept for
+// inspection and reporting but never served as a hit, so a resumed
+// sweep recomputes degraded cells.
+type Entry struct {
+	Schema string `json:"schema"`
+	// Key is the cell's deterministic digest (manifest sha256 for matrix
+	// cells, a scope-derived digest for generic sweep cells).
+	Key string `json:"key"`
+	// Index is the sweep index the cell had when recorded (informational;
+	// the key, not the index, is the identity).
+	Index int `json:"index"`
+	// Attempts is how many attempts the recording run spent on the cell.
+	Attempts int `json:"attempts"`
+	// Degraded marks a cell whose every attempt failed; Error carries the
+	// last attempt's failure text.
+	Degraded bool   `json:"degraded,omitempty"`
+	Error    string `json:"error,omitempty"`
+	// Result is the cell's typed result, JSON-encoded (empty when
+	// Degraded).
+	Result json.RawMessage `json:"result,omitempty"`
+	// Stats is the cell's telemetry snapshot (counters, histograms,
+	// stream digest) when live telemetry was attached; replayed into the
+	// sink on a hit so /metrics over a resumed run matches a cold one.
+	Stats *obs.CellStats `json:"stats,omitempty"`
+}
+
+// Store is a durable key→Entry map backed by a journal + snapshot pair
+// in one directory. All methods are safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	journal *os.File // nil when read-only
+	entries map[string]*Entry
+
+	hits     atomic.Int64
+	misses   atomic.Int64
+	corrupt  atomic.Int64 // checksum-failed or undecodable journal entries
+	tornTail bool         // reopen found (and quarantined) a partial frame
+	readOnly bool
+}
+
+// Open opens (creating if needed) the store in dir, replays the
+// snapshot and journal, repairs a torn journal tail, and leaves the
+// journal open for appends.
+func Open(dir string) (*Store, error) { return open(dir, false) }
+
+// OpenReadOnly opens an existing store for inspection: nothing on disk
+// is modified (a torn tail is tolerated but not truncated) and Put,
+// Checkpoint, and Close are no-ops on the journal.
+func OpenReadOnly(dir string) (*Store, error) { return open(dir, true) }
+
+func open(dir string, readOnly bool) (*Store, error) {
+	s := &Store{dir: dir, entries: map[string]*Entry{}, readOnly: readOnly}
+	if !readOnly {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %v", err)
+		}
+	}
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := s.loadJournal(); err != nil {
+		return nil, err
+	}
+	if !readOnly {
+		f, err := os.OpenFile(filepath.Join(dir, journalName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("store: %v", err)
+		}
+		s.journal = f
+	}
+	return s, nil
+}
+
+// snapshot is the compacted on-disk form: every entry, key-sorted for a
+// deterministic artifact.
+type snapshot struct {
+	Schema  string   `json:"schema"`
+	Entries []*Entry `json:"entries"`
+}
+
+func (s *Store) loadSnapshot() error {
+	blob, err := os.ReadFile(filepath.Join(s.dir, snapshotName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %v", err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		return fmt.Errorf("store: snapshot %s: %v", snapshotName, err)
+	}
+	if snap.Schema != Schema {
+		return fmt.Errorf("store: snapshot schema %q, want %q", snap.Schema, Schema)
+	}
+	for _, e := range snap.Entries {
+		s.entries[e.Key] = e
+	}
+	return nil
+}
+
+// loadJournal replays every intact frame over the snapshot state.
+// Frames that fail their checksum or do not decode are counted corrupt
+// and skipped; a tail too short to hold the frame its header promises
+// is a torn append — it is quarantined to a numbered side file and
+// truncated away (unless read-only) so subsequent appends start from a
+// clean boundary.
+func (s *Store) loadJournal() error {
+	path := filepath.Join(s.dir, journalName)
+	blob, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %v", err)
+	}
+	off := 0
+	for off < len(blob) {
+		rest := blob[off:]
+		if len(rest) < frameHeaderSize {
+			break // torn header
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		want := binary.LittleEndian.Uint64(rest[4:])
+		if n > maxFrameSize {
+			// An implausible length means the header itself is damaged;
+			// nothing after it can be framed reliably. Treat as tail.
+			break
+		}
+		end := frameHeaderSize + int(n)
+		if len(rest) < end {
+			break // torn payload
+		}
+		payload := rest[frameHeaderSize:end]
+		off += end
+		if fnv1a(payload) != want {
+			s.corrupt.Add(1)
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(payload, &e); err != nil || e.Key == "" {
+			s.corrupt.Add(1)
+			continue
+		}
+		s.entries[e.Key] = &e
+	}
+	if off < len(blob) {
+		s.tornTail = true
+		if !s.readOnly {
+			if err := s.quarantineTail(blob[off:]); err != nil {
+				return err
+			}
+			if err := os.Truncate(path, int64(off)); err != nil {
+				return fmt.Errorf("store: truncating torn journal tail: %v", err)
+			}
+		}
+	}
+	return nil
+}
+
+// quarantineTail preserves the torn bytes in a numbered side file so a
+// repair never silently destroys evidence.
+func (s *Store) quarantineTail(tail []byte) error {
+	for i := 0; ; i++ {
+		path := filepath.Join(s.dir, fmt.Sprintf("quarantine-%d.bin", i))
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if errors.Is(err, os.ErrExist) {
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("store: %v", err)
+		}
+		_, werr := f.Write(tail)
+		cerr := f.Close()
+		if werr != nil || cerr != nil {
+			return fmt.Errorf("store: quarantine: %v", errors.Join(werr, cerr))
+		}
+		return nil
+	}
+}
+
+func fnv1a(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// Get returns the non-degraded entry for key and counts a hit; a
+// missing or degraded entry counts a miss (a degraded record is never
+// trusted as a result — resume recomputes it).
+func (s *Store) Get(key string) (*Entry, bool) {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	s.mu.Unlock()
+	if !ok || e.Degraded {
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return e, true
+}
+
+// Peek is Get without touching the hit/miss counters and without the
+// degraded filter — the inspection path.
+func (s *Store) Peek(key string) (*Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	return e, ok
+}
+
+// Put durably appends one entry (framed, checksummed, fsync'd) and
+// updates the in-memory map. Last write per key wins, matching journal
+// replay order.
+func (s *Store) Put(e Entry) error {
+	if e.Key == "" {
+		return fmt.Errorf("store: Put with empty key")
+	}
+	e.Schema = Schema
+	payload, err := json.Marshal(&e)
+	if err != nil {
+		return fmt.Errorf("store: encoding entry %s: %v", e.Key, err)
+	}
+	if len(payload) > maxFrameSize {
+		return fmt.Errorf("store: entry %s exceeds max frame size", e.Key)
+	}
+	frame := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint64(frame[4:], fnv1a(payload))
+	copy(frame[frameHeaderSize:], payload)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal != nil {
+		if _, err := s.journal.Write(frame); err != nil {
+			return fmt.Errorf("store: journal append: %v", err)
+		}
+		if err := s.journal.Sync(); err != nil {
+			return fmt.Errorf("store: journal fsync: %v", err)
+		}
+	}
+	s.entries[e.Key] = &e
+	return nil
+}
+
+// Checkpoint compacts the store: the full entry map is written to a
+// temporary snapshot, fsync'd, atomically renamed over the previous
+// snapshot, and only then is the journal truncated. A crash before the
+// rename leaves the old snapshot + full journal; after it, the new
+// snapshot plus a journal whose entries are already in the snapshot —
+// replay is idempotent by key, so both are consistent.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.readOnly {
+		return nil
+	}
+	entries := make([]*Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	blob, err := json.MarshalIndent(&snapshot{Schema: Schema, Entries: entries}, "", " ")
+	if err != nil {
+		return fmt.Errorf("store: encoding snapshot: %v", err)
+	}
+	tmp := filepath.Join(s.dir, snapshotName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %v", err)
+	}
+	if _, err := f.Write(append(blob, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("store: snapshot write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: snapshot fsync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: %v", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotName)); err != nil {
+		return fmt.Errorf("store: snapshot rename: %v", err)
+	}
+	syncDir(s.dir) // make the rename itself durable
+	if s.journal != nil {
+		if err := s.journal.Truncate(0); err != nil {
+			return fmt.Errorf("store: journal reset: %v", err)
+		}
+		if _, err := s.journal.Seek(0, io.SeekStart); err != nil {
+			return fmt.Errorf("store: journal reset: %v", err)
+		}
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry
+// is durable; best-effort (some filesystems refuse directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Close checkpoints and releases the journal handle.
+func (s *Store) Close() error {
+	err := s.Checkpoint()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal != nil {
+		if cerr := s.journal.Close(); err == nil {
+			err = cerr
+		}
+		s.journal = nil
+	}
+	return err
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the number of entries currently held (degraded included).
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Entries returns every entry, key-sorted (the inspection path).
+func (s *Store) Entries() []*Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Hits returns how many Get calls were served from the store.
+func (s *Store) Hits() int64 { return s.hits.Load() }
+
+// Misses returns how many Get calls found no trustworthy entry.
+func (s *Store) Misses() int64 { return s.misses.Load() }
+
+// Corrupt returns how many journal entries were quarantined on open
+// (checksum failure or undecodable payload), plus any counted later by
+// CountCorrupt.
+func (s *Store) Corrupt() int64 { return s.corrupt.Load() }
+
+// CountCorrupt records an entry that loaded but failed downstream
+// validation (e.g. a stored result that no longer decodes into the
+// sweep's result type) — trusted never, counted always.
+func (s *Store) CountCorrupt() { s.corrupt.Add(1) }
+
+// TornTail reports whether the last open found (and, unless read-only,
+// quarantined) a partial trailing frame.
+func (s *Store) TornTail() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tornTail
+}

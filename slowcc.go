@@ -47,6 +47,7 @@ import (
 	"slowcc/internal/obs/journey"
 	"slowcc/internal/obs/probe"
 	"slowcc/internal/sim"
+	"slowcc/internal/store"
 	"slowcc/internal/topology"
 	"slowcc/internal/trace"
 )
@@ -481,4 +482,27 @@ func WriteManifestPrometheus(w io.Writer, m *Manifest) error { return export.Wri
 // violation is an error. CI uses it to gate scraped /metrics output.
 func ValidatePrometheus(r io.Reader) (families, samples int, err error) {
 	return export.Validate(r)
+}
+
+// ResultStore is the durable, crash-safe result store supervised sweeps
+// commit finished cells into (slowccsim -store DIR); see internal/store
+// and DESIGN.md §15.
+type ResultStore = store.Store
+
+// ResultEntry is one stored sweep cell.
+type ResultEntry = store.Entry
+
+// OpenStore opens (or creates) a result store directory for reading and
+// writing, repairing any torn journal tail left by a crash.
+func OpenStore(dir string) (*ResultStore, error) { return store.Open(dir) }
+
+// OpenStoreReadOnly opens a result store for inspection without
+// repairing or writing anything (cmd/slowccreport -store).
+func OpenStoreReadOnly(dir string) (*ResultStore, error) { return store.OpenReadOnly(dir) }
+
+// SetSweepStore installs the result store supervised sweeps commit
+// cells into; with replay true, previously completed cells are served
+// from the store instead of recomputed. Returns the previous store.
+func SetSweepStore(s *ResultStore, replay bool) (prev *ResultStore) {
+	return exp.SetSweepStore(s, replay)
 }
